@@ -1,0 +1,32 @@
+// Figure 2: relative time spent in the key steps of LazyMC — degree-based
+// heuristic, k-core + reordering, must-subgraph prepopulation, coreness-
+// based heuristic, and systematic search.
+#include <cstdio>
+
+#include "common.hpp"
+#include "mc/lazymc.hpp"
+
+using namespace lazymc;
+
+int main(int argc, char** argv) {
+  bench::Options opt = bench::parse_options(argc, argv);
+  std::printf("Figure 2: relative time per LazyMC phase (%%)\n\n");
+  bench::Table table({"graph", "deg-heur", "kcore+reorder", "must-subgraph",
+                      "core-heur", "systematic", "total[s]"});
+
+  for (auto& inst : bench::load_suite(opt)) {
+    mc::LazyMCConfig cfg;
+    cfg.time_limit_seconds = opt.timeout;
+    auto r = mc::lazy_mc(inst.graph, cfg);
+    double total = r.phases.total();
+    auto pct = [&](double v) {
+      return bench::fmt(total > 0 ? 100.0 * v / total : 0.0, 1);
+    };
+    table.add_row({inst.name, pct(r.phases.degree_heuristic),
+                   pct(r.phases.preprocessing), pct(r.phases.must_subgraph),
+                   pct(r.phases.coreness_heuristic), pct(r.phases.systematic),
+                   bench::fmt(total)});
+  }
+  table.print();
+  return 0;
+}

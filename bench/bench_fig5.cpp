@@ -1,0 +1,48 @@
+// Figure 5: ablation of the early-exit intersections — slowdown with all
+// early exits disabled, and with only the second exit of
+// intersect-size-gt-bool disabled.
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+#include "mc/lazymc.hpp"
+
+using namespace lazymc;
+
+namespace {
+
+double run(const Graph& g, bool early, bool second,
+           const bench::Options& opt) {
+  mc::LazyMCConfig cfg;
+  cfg.early_exit_intersections = early;
+  cfg.second_exit = second;
+  cfg.time_limit_seconds = opt.timeout;
+  auto timing = bench::time_runs(opt.repeats, [&] { mc::lazy_mc(g, cfg); });
+  return timing.mean_seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Options opt = bench::parse_options(argc, argv);
+  std::printf(
+      "Figure 5: slowdown without early-exit intersections / without the "
+      "second exit\n\n");
+  bench::Table table(
+      {"graph", "base[s]", "no early exits (x)", "no 2nd exit (x)"});
+
+  for (auto& inst : bench::load_suite(opt)) {
+    const Graph& g = inst.graph;
+    double base = run(g, true, true, opt);
+    double none = run(g, false, false, opt);
+    double no2 = run(g, true, false, opt);
+    table.add_row({inst.name, bench::fmt(base),
+                   bench::fmt(base > 0 ? none / base : 1.0, 2),
+                   bench::fmt(base > 0 ? no2 / base : 1.0, 2)});
+  }
+  table.print();
+  std::printf(
+      "\nValues above 1 mean the early exits help (paper: up to 3.99x on "
+      "dimacs; the second\nexit matters most where filtering dominates).\n");
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Microbenchmarks (google-benchmark) for the data-structure substrates:
+// hopscotch set probes vs sorted binary search, intersection kernels with
+// and without early exits, and lazy-graph construction costs.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "hashset/hopscotch_set.hpp"
+#include "intersect/intersect.hpp"
+#include "kcore/kcore.hpp"
+#include "kcore/order.hpp"
+#include "lazygraph/lazy_graph.hpp"
+#include "support/random.hpp"
+
+namespace lazymc {
+namespace {
+
+std::vector<VertexId> random_sorted(std::size_t n, std::uint64_t seed,
+                                    std::uint64_t universe) {
+  Rng rng(seed);
+  std::vector<VertexId> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v.push_back(static_cast<VertexId>(rng.next_below(universe)));
+  }
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+void BM_HopscotchContains(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto keys = random_sorted(n, 1, n * 8);
+  HopscotchSet set(keys.size());
+  for (VertexId k : keys) set.insert(k);
+  Rng rng(2);
+  for (auto _ : state) {
+    VertexId probe = static_cast<VertexId>(rng.next_below(n * 8));
+    benchmark::DoNotOptimize(set.contains(probe));
+  }
+}
+BENCHMARK(BM_HopscotchContains)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_SortedContains(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto keys = random_sorted(n, 1, n * 8);
+  SortedLookup look(keys);
+  Rng rng(2);
+  for (auto _ : state) {
+    VertexId probe = static_cast<VertexId>(rng.next_below(n * 8));
+    benchmark::DoNotOptimize(look.contains(probe));
+  }
+}
+BENCHMARK(BM_SortedContains)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_IntersectSorted(benchmark::State& state) {
+  auto a = random_sorted(static_cast<std::size_t>(state.range(0)), 3, 100000);
+  auto b = random_sorted(static_cast<std::size_t>(state.range(0)), 4, 100000);
+  std::vector<VertexId> out(std::min(a.size(), b.size()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(intersect_sorted(a, b, out.data()));
+  }
+}
+BENCHMARK(BM_IntersectSorted)->Arg(256)->Arg(4096);
+
+void BM_IntersectHash(benchmark::State& state) {
+  auto a = random_sorted(static_cast<std::size_t>(state.range(0)), 3, 100000);
+  auto b = random_sorted(static_cast<std::size_t>(state.range(0)), 4, 100000);
+  HopscotchSet bs(b.size());
+  for (VertexId x : b) bs.insert(x);
+  std::vector<VertexId> out(a.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        intersect_hash(std::span<const VertexId>(a), bs, out.data()));
+  }
+}
+BENCHMARK(BM_IntersectHash)->Arg(256)->Arg(4096);
+
+// Early-exit win: B is tiny relative to the threshold, so the exit fires
+// after ~|A|-theta misses instead of scanning all of A.
+void BM_SizeGtValEarlyExit(benchmark::State& state) {
+  auto a = random_sorted(4096, 5, 1 << 20);
+  auto b = random_sorted(64, 6, 1 << 20);  // nearly disjoint from a
+  HopscotchSet bs(b.size());
+  for (VertexId x : b) bs.insert(x);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        intersect_size_gt_val(std::span<const VertexId>(a), bs, 60));
+  }
+}
+BENCHMARK(BM_SizeGtValEarlyExit);
+
+void BM_SizeGtValNoExit(benchmark::State& state) {
+  auto a = random_sorted(4096, 5, 1 << 20);
+  auto b = random_sorted(64, 6, 1 << 20);
+  HopscotchSet bs(b.size());
+  for (VertexId x : b) bs.insert(x);
+  for (auto _ : state) {
+    // Exact count then compare: the "no early exit" configuration.
+    benchmark::DoNotOptimize(
+        intersect_size(std::span<const VertexId>(a), bs) > 60u);
+  }
+}
+BENCHMARK(BM_SizeGtValNoExit);
+
+// Second early exit of intersect-size-gt-bool: A is a near-subset of B, so
+// the success exit fires after ~theta+1 hits.
+void BM_SizeGtBoolSecondExit(benchmark::State& state) {
+  auto a = random_sorted(4096, 7, 1 << 18);
+  HopscotchSet bs(a.size());
+  for (VertexId x : a) bs.insert(x);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        intersect_size_gt_bool(std::span<const VertexId>(a), bs, 32, true));
+  }
+}
+BENCHMARK(BM_SizeGtBoolSecondExit);
+
+void BM_SizeGtBoolNoSecondExit(benchmark::State& state) {
+  auto a = random_sorted(4096, 7, 1 << 18);
+  HopscotchSet bs(a.size());
+  for (VertexId x : a) bs.insert(x);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        intersect_size_gt_bool(std::span<const VertexId>(a), bs, 32, false));
+  }
+}
+BENCHMARK(BM_SizeGtBoolNoSecondExit);
+
+void BM_LazyGraphConstructOne(benchmark::State& state) {
+  Graph g = gen::rmat(12, 8, 0.57, 0.19, 0.19, 11);
+  auto core = kcore::coreness(g);
+  auto order = kcore::order_by_coreness_degree(g, core.coreness);
+  std::atomic<VertexId> incumbent{0};
+  for (auto _ : state) {
+    state.PauseTiming();
+    LazyGraph lazy(g, order, core.coreness, &incumbent);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(lazy.hashed_neighborhood(g.num_vertices() - 1));
+  }
+}
+BENCHMARK(BM_LazyGraphConstructOne);
+
+void BM_EagerRelabelWholeGraph(benchmark::State& state) {
+  Graph g = gen::rmat(12, 8, 0.57, 0.19, 0.19, 11);
+  auto core = kcore::coreness(g);
+  auto order = kcore::order_by_coreness_degree(g, core.coreness);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kcore::relabel(g, order));
+  }
+}
+BENCHMARK(BM_EagerRelabelWholeGraph);
+
+}  // namespace
+}  // namespace lazymc
+
+BENCHMARK_MAIN();

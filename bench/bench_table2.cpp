@@ -1,0 +1,117 @@
+// Table II: end-to-end execution time of PMC, dOmega-LS, dOmega-BS,
+// MC-BRB and LazyMC, with run-to-run deviation and LazyMC's speedup over
+// each baseline, plus the median speedups the paper headlines.
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/domega.hpp"
+#include "baselines/mcbrb.hpp"
+#include "baselines/pmc.hpp"
+#include "common.hpp"
+#include "mc/lazymc.hpp"
+
+using namespace lazymc;
+
+namespace {
+
+struct Measured {
+  double seconds = std::nan("");  // NaN = timeout
+  double dev_pct = 0;
+  VertexId omega = 0;
+};
+
+template <typename Fn>
+Measured measure(int repeats, double timeout, Fn&& solve) {
+  Measured m;
+  bool timed_out = false;
+  VertexId omega = 0;
+  auto timing = bench::time_runs(repeats, [&] {
+    auto r = solve();
+    timed_out = timed_out || r.timed_out;
+    omega = r.omega;
+  });
+  m.omega = omega;
+  if (timed_out) {
+    m.seconds = std::nan("");
+  } else {
+    m.seconds = timing.mean_seconds;
+    m.dev_pct = timing.stddev_pct;
+  }
+  (void)timeout;
+  return m;
+}
+
+std::string speedup_str(const Measured& base, const Measured& lazy) {
+  if (std::isnan(lazy.seconds)) return "x";
+  if (std::isnan(base.seconds)) return "T.O.";
+  return bench::fmt(base.seconds / lazy.seconds, 2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Options opt = bench::parse_options(argc, argv);
+  std::printf(
+      "Table II: overall runtime (seconds; 'x' = timed out at %.0fs)\n\n",
+      opt.timeout);
+  bench::Table table({"graph", "PMC", "dev%", "spd", "dOm-LS", "spd",
+                      "dOm-BS", "spd", "MC-BRB", "spd", "LazyMC", "dev%",
+                      "omega"});
+
+  std::vector<double> spd_pmc, spd_ls, spd_bs, spd_brb;
+
+  for (auto& inst : bench::load_suite(opt)) {
+    const Graph& g = inst.graph;
+
+    Measured lazy = measure(opt.repeats, opt.timeout, [&] {
+      mc::LazyMCConfig cfg;
+      cfg.time_limit_seconds = opt.timeout;
+      auto r = mc::lazy_mc(g, cfg);
+      return r;
+    });
+    Measured pmc = measure(opt.repeats, opt.timeout, [&] {
+      baselines::PmcOptions o;
+      o.time_limit_seconds = opt.timeout;
+      return baselines::pmc_solve(g, o);
+    });
+    baselines::DomegaOptions dopt;
+    dopt.time_limit_seconds = opt.timeout;
+    Measured ls = measure(opt.repeats, opt.timeout, [&] {
+      return baselines::domega_solve(g, baselines::DomegaMode::kLinearScan,
+                                     dopt);
+    });
+    Measured bs = measure(opt.repeats, opt.timeout, [&] {
+      return baselines::domega_solve(g, baselines::DomegaMode::kBinarySearch,
+                                     dopt);
+    });
+    Measured brb = measure(opt.repeats, opt.timeout, [&] {
+      baselines::McBrbOptions o;
+      o.time_limit_seconds = opt.timeout;
+      return baselines::mcbrb_solve(g, o);
+    });
+
+    auto push_speedup = [&](std::vector<double>& acc, const Measured& base) {
+      if (!std::isnan(base.seconds) && !std::isnan(lazy.seconds)) {
+        acc.push_back(base.seconds / lazy.seconds);
+      }
+    };
+    push_speedup(spd_pmc, pmc);
+    push_speedup(spd_ls, ls);
+    push_speedup(spd_bs, bs);
+    push_speedup(spd_brb, brb);
+
+    table.add_row({inst.name, bench::fmt(pmc.seconds),
+                   bench::fmt(pmc.dev_pct, 1), speedup_str(pmc, lazy),
+                   bench::fmt(ls.seconds), speedup_str(ls, lazy),
+                   bench::fmt(bs.seconds), speedup_str(bs, lazy),
+                   bench::fmt(brb.seconds), speedup_str(brb, lazy),
+                   bench::fmt(lazy.seconds), bench::fmt(lazy.dev_pct, 1),
+                   std::to_string(lazy.omega)});
+  }
+  table.print();
+  std::printf("\nmedian speedup of LazyMC:  PMC %.2f  dOmega-LS %.2f  "
+              "dOmega-BS %.2f  MC-BRB %.2f\n",
+              bench::median(spd_pmc), bench::median(spd_ls),
+              bench::median(spd_bs), bench::median(spd_brb));
+  return 0;
+}

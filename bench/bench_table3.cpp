@@ -1,0 +1,37 @@
+// Table III: fraction of right-neighborhoods retained after each filtering
+// step of NeighborSearch, normalized per thousand vertices.
+#include <cstdio>
+
+#include "common.hpp"
+#include "mc/lazymc.hpp"
+
+using namespace lazymc;
+
+int main(int argc, char** argv) {
+  bench::Options opt = bench::parse_options(argc, argv);
+  std::printf(
+      "Table III: neighborhoods retained per filtering step "
+      "(per thousand vertices)\n\n");
+  bench::Table table({"graph", "evaluated", "filter 1", "filter 2",
+                      "filter 3"});
+
+  for (auto& inst : bench::load_suite(opt)) {
+    const Graph& g = inst.graph;
+    mc::LazyMCConfig cfg;
+    cfg.time_limit_seconds = opt.timeout;
+    auto r = mc::lazy_mc(g, cfg);
+    double per_k = 1000.0 / static_cast<double>(g.num_vertices());
+    table.add_row({inst.name,
+                   bench::fmt(static_cast<double>(r.search.evaluated) * per_k),
+                   bench::fmt(static_cast<double>(r.search.pass_filter1) * per_k),
+                   bench::fmt(static_cast<double>(r.search.pass_filter2) * per_k),
+                   bench::fmt(static_cast<double>(r.search.pass_filter3) * per_k)});
+  }
+  table.print();
+  std::printf(
+      "\nevaluated: vertices whose right-neighborhood was opened (passed "
+      "the coreness pre-filter);\nfilter 1/2/3: survivors of the member-"
+      "coreness filter and the two induced-degree filters.\nZero rows = "
+      "the heuristic search already certified a zero-gap maximum clique.\n");
+  return 0;
+}

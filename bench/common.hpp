@@ -1,0 +1,62 @@
+// Shared benchmark-harness utilities: suite loading, timing with repeats,
+// ASCII table output, and a tiny flag parser.
+//
+// Every bench binary accepts:
+//   --scale=tiny|small|medium   suite scale (default: small, so the whole
+//                               harness completes in minutes on a laptop;
+//                               medium approaches the paper's regime)
+//   --graphs=a,b,c              restrict to named instances
+//   --repeats=N                 timing repetitions (default 3)
+//   --timeout=SECONDS           per-solve timeout (default 60)
+//   --threads=N                 worker threads (default: hardware)
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/suite.hpp"
+
+namespace lazymc::bench {
+
+struct Options {
+  suite::Scale scale = suite::Scale::kSmall;
+  std::vector<std::string> graphs;  // empty = all
+  int repeats = 3;
+  double timeout = 60.0;
+  std::size_t threads = 0;  // 0 = hardware default
+};
+
+/// Parses the common flags; unknown flags abort with a usage message.
+/// `defaults` lets sweep-style benches pick a different default scale.
+Options parse_options(int argc, char** argv, Options defaults = {});
+
+/// Suite instances selected by the options (applies --graphs and --scale).
+std::vector<suite::Instance> load_suite(const Options& options);
+
+/// Mean and standard deviation (as % of mean) of `repeats` runs of fn.
+struct Timing {
+  double mean_seconds = 0;
+  double stddev_pct = 0;
+};
+Timing time_runs(int repeats, const std::function<void()>& fn);
+
+/// Right-aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimals; "x" for NaN (timeouts).
+std::string fmt(double value, int digits = 3);
+
+/// Median of a vector (NaNs excluded); NaN when empty.
+double median(std::vector<double> values);
+
+}  // namespace lazymc::bench

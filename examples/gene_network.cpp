@@ -1,0 +1,52 @@
+// Gene-coexpression scenario: dense biological networks are the regime
+// where algorithmic choice (k-vertex-cover on the complement) pays off —
+// the paper's bio-mouse-gene / bio-human-gene graphs.
+//
+// We sweep the density threshold phi to show how routing subproblems to
+// the k-VC solver changes the work split, while the answer stays exact.
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "mc/lazymc.hpp"
+
+int main() {
+  using namespace lazymc;
+
+  std::printf("building a gene-coexpression-like network...\n");
+  Graph g = gen::gene_blocks(/*n=*/900, /*blocks=*/14, /*block_size=*/300,
+                             /*p_block=*/0.85, /*seed=*/5);
+  double density = 2.0 * static_cast<double>(g.num_edges()) /
+                   (static_cast<double>(g.num_vertices()) *
+                    (g.num_vertices() - 1.0));
+  std::printf("network: %u genes, %llu coexpression edges (density %.1f%%)\n",
+              g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()),
+              100.0 * density);
+
+  VertexId omega = 0;
+  for (double phi : {0.1, 0.5, 1.0}) {
+    mc::LazyMCConfig config;
+    config.density_threshold = phi;
+    config.time_limit_seconds = 300.0;
+    auto r = mc::lazy_mc(g, config);
+    if (omega == 0) omega = r.omega;
+    std::printf(
+        "\nphi = %.1f  ->  omega = %u  (%.3fs)\n"
+        "  subproblems solved as MC:   %llu  (%.3fs)\n"
+        "  subproblems solved as k-VC: %llu  (%.3fs)\n",
+        phi, r.omega, r.phases.total(),
+        static_cast<unsigned long long>(r.search.solved_mc),
+        r.search.mc_seconds,
+        static_cast<unsigned long long>(r.search.solved_vc),
+        r.search.vc_seconds);
+    if (r.omega != omega) {
+      std::printf("ERROR: threshold changed the answer!\n");
+      return 1;
+    }
+  }
+  std::printf(
+      "\nthe maximum coexpressed module has %u genes; every phi gives the "
+      "same exact answer,\nonly the route (MC vs k-VC) differs.\n",
+      omega);
+  return 0;
+}

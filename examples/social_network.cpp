@@ -1,0 +1,60 @@
+// Social-network scenario: find the largest fully-connected group in a
+// community-structured graph and compare how far the cheap heuristics get
+// before the systematic search has to take over.
+//
+// This mirrors the paper's motivating workload (LiveJournal / pokec /
+// orkut): strong communities, one of which hides the maximum clique.
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "mc/lazymc.hpp"
+#include "support/parallel.hpp"
+
+int main() {
+  using namespace lazymc;
+
+  // 24 communities of 300 users; friendships inside a community appear
+  // with 45% probability, plus sparse global noise, plus one tight-knit
+  // group of 25 (the "hidden" maximum clique).
+  std::printf("building a social network (24 communities x 300 users)...\n");
+  Graph g = gen::planted_partition(/*communities=*/24, /*community_size=*/300,
+                                   /*p_intra=*/0.45, /*avg_inter=*/6.0,
+                                   /*seed=*/7);
+  std::vector<VertexId> insiders;
+  g = gen::plant_clique(g, /*clique_size=*/25, /*seed=*/8, &insiders);
+  std::printf("network: %u users, %llu friendships\n", g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+
+  mc::LazyMCConfig config;
+  auto result = mc::lazy_mc(g, config);
+
+  std::printf("\nlargest fully-connected group: %u users\n", result.omega);
+  std::printf("heuristics alone reached: degree-based %u, coreness-based "
+              "%u\n",
+              result.heuristic_degree_omega, result.heuristic_coreness_omega);
+
+  // Was the planted group found?  (The solver may legitimately find a
+  // different clique of equal size.)
+  std::size_t overlap = 0;
+  for (VertexId v : result.clique) {
+    for (VertexId p : insiders) {
+      if (v == p) {
+        ++overlap;
+        break;
+      }
+    }
+  }
+  std::printf("overlap with the planted 25-group: %zu/25\n", overlap);
+
+  std::printf("\nwork avoidance in action:\n");
+  std::printf("  %llu of %u vertices had their neighborhood opened\n",
+              static_cast<unsigned long long>(result.search.evaluated),
+              g.num_vertices());
+  std::printf("  %llu survived filtering and needed a real search\n",
+              static_cast<unsigned long long>(result.search.pass_filter3));
+  if (!is_clique(g, result.clique)) {
+    std::printf("ERROR: result is not a clique!\n");
+    return 1;
+  }
+  return 0;
+}

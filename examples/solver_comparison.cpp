@@ -1,0 +1,93 @@
+// Side-by-side comparison of all five solvers on a few structurally
+// different graphs — a miniature Table II.  Useful as a template for
+// benchmarking on your own graphs (pass file paths as arguments).
+#include <cstdio>
+#include <vector>
+
+#include "baselines/domega.hpp"
+#include "baselines/mcbrb.hpp"
+#include "baselines/pmc.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "mc/lazymc.hpp"
+#include "support/timer.hpp"
+
+using namespace lazymc;
+
+namespace {
+
+struct Entry {
+  std::string name;
+  Graph graph;
+};
+
+template <typename Fn>
+void run(const char* label, const Graph& g, Fn&& solve) {
+  WallTimer timer;
+  auto result = solve();
+  double s = timer.elapsed();
+  std::printf("  %-10s omega=%4u  %8.3fs%s\n", label, result.omega, s,
+              result.timed_out ? "  [timeout]" : "");
+  if (!result.timed_out && !is_clique(g, result.clique)) {
+    std::printf("  %-10s ERROR: returned set is not a clique!\n", label);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<Entry> entries;
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) {
+      entries.push_back({argv[i], io::read_graph_file(argv[i])});
+    }
+  } else {
+    entries.push_back(
+        {"power-law + clique",
+         gen::plant_clique(gen::rmat(12, 6, 0.57, 0.19, 0.19, 3), 18, 4)});
+    entries.push_back(
+        {"communities", gen::planted_partition(12, 150, 0.5, 4.0, 5)});
+    entries.push_back({"dense gene blocks",
+                       gen::gene_blocks(500, 10, 150, 0.85, 7)});
+    entries.push_back({"bipartite (omega=2)", gen::bipartite(800, 800, 0.01, 9)});
+  }
+
+  const double timeout = 120.0;
+  for (auto& e : entries) {
+    std::printf("%s: %u vertices, %llu edges\n", e.name.c_str(),
+                e.graph.num_vertices(),
+                static_cast<unsigned long long>(e.graph.num_edges()));
+    run("LazyMC", e.graph, [&] {
+      mc::LazyMCConfig cfg;
+      cfg.time_limit_seconds = timeout;
+      auto r = mc::lazy_mc(e.graph, cfg);
+      baselines::BaselineResult b;
+      b.clique = r.clique;
+      b.omega = r.omega;
+      b.timed_out = r.timed_out;
+      return b;
+    });
+    run("PMC", e.graph, [&] {
+      baselines::PmcOptions o;
+      o.time_limit_seconds = timeout;
+      return baselines::pmc_solve(e.graph, o);
+    });
+    baselines::DomegaOptions dopt;
+    dopt.time_limit_seconds = timeout;
+    run("dOmega-LS", e.graph, [&] {
+      return baselines::domega_solve(e.graph,
+                                     baselines::DomegaMode::kLinearScan, dopt);
+    });
+    run("dOmega-BS", e.graph, [&] {
+      return baselines::domega_solve(
+          e.graph, baselines::DomegaMode::kBinarySearch, dopt);
+    });
+    run("MC-BRB", e.graph, [&] {
+      baselines::McBrbOptions o;
+      o.time_limit_seconds = timeout;
+      return baselines::mcbrb_solve(e.graph, o);
+    });
+    std::printf("\n");
+  }
+  return 0;
+}

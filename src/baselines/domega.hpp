@@ -1,0 +1,31 @@
+// dOmega-like baseline (Walteros & Buchanan, Operations Research 2020):
+// solves maximum clique by searching over the clique-core gap
+// g = d(G) + 1 - omega(G), deciding each candidate omega with k-Vertex-
+// Cover calls on the complements of ego networks.
+//
+// Two gap-search strategies, as in the paper's evaluation:
+//  * LS — linear scan of the gap 0, 1, 2, ... (fast when the gap is 0,
+//    degrades badly as the gap grows);
+//  * BS — binary search over the gap range bounded below by a heuristic
+//    clique.
+//
+// Sequential, like the original.
+#pragma once
+
+#include <limits>
+
+#include "baselines/pmc.hpp"  // BaselineResult
+#include "graph/graph.hpp"
+
+namespace lazymc::baselines {
+
+enum class DomegaMode { kLinearScan, kBinarySearch };
+
+struct DomegaOptions {
+  double time_limit_seconds = std::numeric_limits<double>::infinity();
+};
+
+BaselineResult domega_solve(const Graph& g, DomegaMode mode,
+                            const DomegaOptions& options = {});
+
+}  // namespace lazymc::baselines

@@ -1,0 +1,128 @@
+#include "baselines/mcbrb.hpp"
+
+#include <algorithm>
+
+#include "graph/subgraph.hpp"
+#include "intersect/intersect.hpp"
+#include "kcore/kcore.hpp"
+#include "kcore/order.hpp"
+#include "mc/bb_solver.hpp"
+#include "support/control.hpp"
+
+namespace lazymc::baselines {
+namespace {
+
+/// Degree-based greedy clique from the top-K degree seeds (sequential).
+std::vector<VertexId> degree_heuristic(const Graph& g, VertexId top_k,
+                                       const SolveControl& control) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> seeds(n);
+  for (VertexId v = 0; v < n; ++v) seeds[v] = v;
+  VertexId k = std::min<VertexId>(top_k, n);
+  std::partial_sort(
+      seeds.begin(), seeds.begin() + k, seeds.end(),
+      [&](VertexId a, VertexId b) { return g.degree(a) > g.degree(b); });
+  std::vector<VertexId> best;
+  for (VertexId i = 0; i < k && !control.cancelled(); ++i) {
+    VertexId v = seeds[i];
+    std::vector<VertexId> clique{v};
+    auto nbrs = g.neighbors(v);
+    std::vector<VertexId> candidates(nbrs.begin(), nbrs.end());
+    std::vector<VertexId> buffer(candidates.size());
+    while (!candidates.empty()) {
+      // Take the highest-degree candidate.
+      VertexId u = *std::max_element(
+          candidates.begin(), candidates.end(),
+          [&](VertexId a, VertexId b) { return g.degree(a) < g.degree(b); });
+      clique.push_back(u);
+      std::erase(candidates, u);
+      std::size_t kept =
+          intersect_sorted(candidates, g.neighbors(u), buffer.data());
+      candidates.assign(buffer.begin(), buffer.begin() + kept);
+    }
+    if (clique.size() > best.size()) best = std::move(clique);
+  }
+  return best;
+}
+
+}  // namespace
+
+BaselineResult mcbrb_solve(const Graph& g, const McBrbOptions& options) {
+  BaselineResult result;
+  const VertexId n = g.num_vertices();
+  if (n == 0) return result;
+
+  SolveControl control(options.time_limit_seconds);
+
+  std::vector<VertexId> best =
+      degree_heuristic(g, options.heuristic_top_k, control);
+
+  // Sequential k-core: peeling order for free.
+  kcore::CoreDecomposition core = kcore::coreness(g);
+
+  std::vector<VertexId> peel_pos(n);
+  for (VertexId i = 0; i < n; ++i) peel_pos[core.peel_order[i]] = i;
+
+  // Ego-network search in peeling order.
+  for (VertexId idx = 0; idx < n && !control.cancelled(); ++idx) {
+    VertexId v = core.peel_order[idx];
+    VertexId bound = static_cast<VertexId>(best.size());
+    if (core.coreness[v] < bound) continue;
+
+    // Right-neighborhood w.r.t. the peeling order: neighbors peeled later,
+    // restricted to members with sufficient coreness.
+    std::vector<VertexId> ego;
+    ego.reserve(g.degree(v));
+    for (VertexId u : g.neighbors(v)) {
+      if (peel_pos[u] > peel_pos[v] && core.coreness[u] >= bound) {
+        ego.push_back(u);
+      }
+    }
+    if (ego.size() < bound) continue;
+
+    // Reduce to a fixpoint: drop members whose induced degree cannot
+    // support a clique of size bound+1 through v.
+    DenseSubgraph sub = induce_dense(g, ego);
+    DynamicBitset alive(sub.size());
+    for (std::size_t i = 0; i < sub.size(); ++i) alive.set(i);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t i = alive.find_first(); i < alive.size();
+           i = alive.find_next(i)) {
+        // Need >= bound - 1 neighbors inside the kernel (plus u and v
+        // gives bound + 1 total).
+        if (sub.adj[i].count_and(alive) + 2 <= bound) {
+          alive.reset(i);
+          changed = true;
+        }
+      }
+    }
+    std::vector<VertexId> kernel;
+    alive.for_each([&](std::size_t i) {
+      kernel.push_back(sub.vertices[i]);
+    });
+    if (kernel.size() < bound) continue;
+
+    DenseSubgraph kernel_sub = induce_dense(g, kernel);
+    mc::BBOptions opt;
+    opt.lower_bound = bound > 0 ? bound - 1 : 0;
+    opt.control = &control;
+    mc::BBResult r = mc::solve_mc_dense(kernel_sub, opt);
+    if (!r.clique.empty()) {
+      std::vector<VertexId> clique{v};
+      for (VertexId local : r.clique) {
+        clique.push_back(kernel_sub.vertices[local]);
+      }
+      if (clique.size() > best.size()) best = std::move(clique);
+    }
+  }
+
+  result.clique = std::move(best);
+  std::sort(result.clique.begin(), result.clique.end());
+  result.omega = static_cast<VertexId>(result.clique.size());
+  result.timed_out = control.cancelled();
+  return result;
+}
+
+}  // namespace lazymc::baselines

@@ -1,0 +1,30 @@
+// MC-BRB-like baseline (Chang, KDD'19): sequential branch-reduce-bound
+// maximum clique computation over large sparse graphs.
+//
+// Structure mirrored from the original:
+//  * a degree-based heuristic primes the incumbent before any ordering
+//    work (obtained "for free" relative to LazyMC's parallel pipeline);
+//  * the sequential k-core computation yields the degeneracy peeling
+//    order at no extra cost;
+//  * for each vertex in peeling order the ego network is extracted and
+//    *reduced to a fixpoint* (degree-based reductions), transforming the
+//    problem into an (|C*|+1)-clique decision on a small dense kernel;
+//  * kernels are solved by coloring branch-and-bound.
+#pragma once
+
+#include <limits>
+
+#include "baselines/pmc.hpp"  // BaselineResult
+#include "graph/graph.hpp"
+
+namespace lazymc::baselines {
+
+struct McBrbOptions {
+  double time_limit_seconds = std::numeric_limits<double>::infinity();
+  VertexId heuristic_top_k = 16;
+};
+
+/// Sequential, like the original.
+BaselineResult mcbrb_solve(const Graph& g, const McBrbOptions& options = {});
+
+}  // namespace lazymc::baselines

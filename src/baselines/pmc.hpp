@@ -1,0 +1,33 @@
+// PMC-like baseline (Rossi et al., WWW'14): a parallel branch-and-bound
+// maximum clique solver with coreness-based heuristic search and greedy
+// coloring pruning.
+//
+// Deliberately re-creates the design points the paper contrasts LazyMC
+// against (Section V-A):
+//  * the relabelled graph is constructed *eagerly* and in full up front;
+//  * no advance filtering of candidate sets beyond the coreness test;
+//  * no early-exit intersections;
+//  * every subproblem is solved by MC branch-and-bound (no k-VC choice).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lazymc::baselines {
+
+struct BaselineResult {
+  std::vector<VertexId> clique;  // original ids, sorted
+  VertexId omega = 0;
+  bool timed_out = false;
+};
+
+struct PmcOptions {
+  double time_limit_seconds = std::numeric_limits<double>::infinity();
+};
+
+/// Parallel (uses the global thread pool).
+BaselineResult pmc_solve(const Graph& g, const PmcOptions& options = {});
+
+}  // namespace lazymc::baselines

@@ -1,0 +1,53 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+
+namespace lazymc {
+
+Graph GraphBuilder::build() const {
+  const VertexId n = n_;
+  // Count directed arcs (both directions), skipping self-loops.
+  std::vector<EdgeId> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (auto [u, v] : edges_) {
+    if (u == v) continue;
+    ++offsets[u + 1];
+    ++offsets[v + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<VertexId> adjacency(offsets[n]);
+  std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+  for (auto [u, v] : edges_) {
+    if (u == v) continue;
+    adjacency[cursor[u]++] = v;
+    adjacency[cursor[v]++] = u;
+  }
+
+  // Sort and deduplicate each neighbor list, then compact.
+  std::vector<EdgeId> new_offsets(static_cast<std::size_t>(n) + 1, 0);
+  EdgeId write = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    EdgeId lo = offsets[v], hi = offsets[v + 1];
+    std::sort(adjacency.begin() + lo, adjacency.begin() + hi);
+    EdgeId out = write;
+    for (EdgeId i = lo; i < hi; ++i) {
+      if (i == lo || adjacency[i] != adjacency[i - 1]) {
+        adjacency[out++] = adjacency[i];
+      }
+    }
+    new_offsets[v + 1] = out;
+    write = out;
+  }
+  adjacency.resize(write);
+  new_offsets[0] = 0;
+  return Graph(std::move(new_offsets), std::move(adjacency));
+}
+
+Graph graph_from_edges(VertexId num_vertices,
+                       const std::vector<std::pair<VertexId, VertexId>>& edges) {
+  GraphBuilder b(num_vertices);
+  for (auto [u, v] : edges) b.add_edge(u, v);
+  return b.build();
+}
+
+}  // namespace lazymc

@@ -1,0 +1,41 @@
+// Builds a Graph from an arbitrary edge list: symmetrizes, removes
+// self-loops and duplicates, sorts neighbor lists.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lazymc {
+
+class GraphBuilder {
+ public:
+  /// Pre-declares the number of vertices.  Vertices mentioned in edges may
+  /// exceed this; the final count is max(declared, max id + 1).
+  explicit GraphBuilder(VertexId num_vertices = 0) : n_(num_vertices) {}
+
+  /// Adds an undirected edge.  Self-loops and duplicates are tolerated and
+  /// removed at build time.
+  void add_edge(VertexId u, VertexId v) {
+    n_ = std::max({n_, u + 1, v + 1});
+    edges_.emplace_back(u, v);
+  }
+
+  std::size_t num_pending_edges() const { return edges_.size(); }
+
+  /// Builds the CSR graph.  The builder may be reused afterwards (it keeps
+  /// its edges).
+  Graph build() const;
+
+ private:
+  VertexId n_;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+};
+
+/// Convenience: builds a graph directly from an edge list.
+Graph graph_from_edges(VertexId num_vertices,
+                       const std::vector<std::pair<VertexId, VertexId>>& edges);
+
+}  // namespace lazymc

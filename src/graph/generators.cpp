@@ -1,0 +1,306 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "graph/builder.hpp"
+#include "support/random.hpp"
+
+namespace lazymc::gen {
+namespace {
+
+/// Geometric skipping over the n*(n-1)/2 possible edges: samples each with
+/// probability p in expected O(p*n^2) time.
+template <typename EmitEdge>
+void sample_gnp(VertexId n, double p, Rng& rng, EmitEdge&& emit) {
+  if (p <= 0.0 || n < 2) return;
+  if (p >= 1.0) {
+    for (VertexId u = 0; u < n; ++u)
+      for (VertexId v = u + 1; v < n; ++v) emit(u, v);
+    return;
+  }
+  const double log1mp = std::log1p(-p);
+  const std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  // Row u of the upper triangle starts at linear index u*(2n-u-1)/2.
+  auto row_start = [n](std::uint64_t row) {
+    return row * (2 * static_cast<std::uint64_t>(n) - row - 1) / 2;
+  };
+  std::uint64_t idx = 0;  // next candidate linear edge index
+  std::uint64_t row = 0;  // current row (maintained incrementally)
+  while (idx < total) {
+    // Geometric skip: number of failures before the next success.
+    double u01 = rng.next_double();
+    if (u01 >= 1.0) u01 = 0.5;
+    double skip = std::floor(std::log1p(-u01) / log1mp);
+    if (!(skip >= 0)) skip = 0;
+    if (skip >= static_cast<double>(total - idx)) break;
+    idx += static_cast<std::uint64_t>(skip);
+    if (idx >= total) break;
+    while (row + 1 < n && row_start(row + 1) <= idx) ++row;
+    VertexId u = static_cast<VertexId>(row);
+    VertexId v = static_cast<VertexId>(idx - row_start(row) + row + 1);
+    emit(u, v);
+    ++idx;
+  }
+}
+
+}  // namespace
+
+Graph gnp(VertexId n, double p, std::uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder b(n);
+  sample_gnp(n, p, rng, [&](VertexId u, VertexId v) { b.add_edge(u, v); });
+  return b.build();
+}
+
+Graph gnm(VertexId n, EdgeId m, std::uint64_t seed) {
+  if (n < 2) return GraphBuilder(n).build();
+  std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  if (m > total) throw std::invalid_argument("gnm: m exceeds possible edges");
+  Rng rng(seed);
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(static_cast<std::size_t>(m) * 2);
+  GraphBuilder b(n);
+  while (chosen.size() < m) {
+    VertexId u = static_cast<VertexId>(rng.next_below(n));
+    VertexId v = static_cast<VertexId>(rng.next_below(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    std::uint64_t key = static_cast<std::uint64_t>(u) * n + v;
+    if (chosen.insert(key).second) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+Graph complete(VertexId n) {
+  GraphBuilder b(n);
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v) b.add_edge(u, v);
+  return b.build();
+}
+
+Graph cycle(VertexId n) {
+  GraphBuilder b(n);
+  if (n >= 3) {
+    for (VertexId v = 0; v < n; ++v) b.add_edge(v, (v + 1) % n);
+  } else if (n == 2) {
+    b.add_edge(0, 1);
+  }
+  return b.build();
+}
+
+Graph path(VertexId n) {
+  GraphBuilder b(n);
+  for (VertexId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return b.build();
+}
+
+Graph star(VertexId n) {
+  GraphBuilder b(n);
+  for (VertexId v = 1; v < n; ++v) b.add_edge(0, v);
+  return b.build();
+}
+
+Graph grid(VertexId rows, VertexId cols) {
+  GraphBuilder b(rows * cols);
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return b.build();
+}
+
+Graph barabasi_albert(VertexId n, VertexId attach, std::uint64_t seed) {
+  if (attach == 0) throw std::invalid_argument("barabasi_albert: attach == 0");
+  Rng rng(seed);
+  GraphBuilder b(n);
+  // Repeated-endpoint list: sampling uniformly from it is sampling
+  // proportionally to degree.
+  std::vector<VertexId> endpoints;
+  VertexId seed_size = std::min<VertexId>(n, attach + 1);
+  for (VertexId u = 0; u < seed_size; ++u) {
+    for (VertexId v = u + 1; v < seed_size; ++v) {
+      b.add_edge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (VertexId v = seed_size; v < n; ++v) {
+    std::unordered_set<VertexId> targets;
+    while (targets.size() < attach) {
+      VertexId t = endpoints[rng.next_below(endpoints.size())];
+      targets.insert(t);
+    }
+    for (VertexId t : targets) {
+      b.add_edge(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return b.build();
+}
+
+Graph rmat(VertexId scale, EdgeId edges_per_vertex, double a, double b,
+           double c, std::uint64_t seed) {
+  double d = 1.0 - a - b - c;
+  if (d < -1e-9) throw std::invalid_argument("rmat: a+b+c > 1");
+  Rng rng(seed);
+  VertexId n = VertexId{1} << scale;
+  EdgeId m = static_cast<EdgeId>(n) * edges_per_vertex;
+  GraphBuilder builder(n);
+  for (EdgeId e = 0; e < m; ++e) {
+    VertexId u = 0, v = 0;
+    for (VertexId bit = 0; bit < scale; ++bit) {
+      double r = rng.next_double();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // upper-left quadrant: no bits set
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u != v) builder.add_edge(u, v);
+  }
+  return builder.build();
+}
+
+Graph watts_strogatz(VertexId n, VertexId k, double beta, std::uint64_t seed) {
+  if (k % 2 != 0) throw std::invalid_argument("watts_strogatz: k must be even");
+  Rng rng(seed);
+  GraphBuilder b(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId j = 1; j <= k / 2; ++j) {
+      VertexId target = (v + j) % n;
+      if (rng.next_double() < beta) {
+        // Rewire to a uniform random endpoint (self handled by builder).
+        target = static_cast<VertexId>(rng.next_below(n));
+      }
+      b.add_edge(v, target);
+    }
+  }
+  return b.build();
+}
+
+Graph planted_partition(VertexId communities, VertexId community_size,
+                        double p_intra, double avg_inter, std::uint64_t seed) {
+  Rng rng(seed);
+  VertexId n = communities * community_size;
+  GraphBuilder b(n);
+  for (VertexId comm = 0; comm < communities; ++comm) {
+    VertexId base = comm * community_size;
+    Rng local(seed ^ (0x9e3779b97f4a7c15ULL * (comm + 1)));
+    sample_gnp(community_size, p_intra, local, [&](VertexId u, VertexId v) {
+      b.add_edge(base + u, base + v);
+    });
+  }
+  EdgeId inter = static_cast<EdgeId>(static_cast<double>(n) * avg_inter / 2.0);
+  for (EdgeId e = 0; e < inter; ++e) {
+    VertexId u = static_cast<VertexId>(rng.next_below(n));
+    VertexId v = static_cast<VertexId>(rng.next_below(n));
+    b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+Graph gene_blocks(VertexId n, VertexId blocks, VertexId block_size,
+                  double p_block, std::uint64_t seed) {
+  if (block_size > n) throw std::invalid_argument("gene_blocks: block > n");
+  Rng rng(seed);
+  GraphBuilder b(n);
+  std::vector<VertexId> members(block_size);
+  for (VertexId blk = 0; blk < blocks; ++blk) {
+    // Random contiguous window plus jitter gives overlapping dense zones.
+    VertexId base = static_cast<VertexId>(rng.next_below(n - block_size + 1));
+    for (VertexId i = 0; i < block_size; ++i) members[i] = base + i;
+    Rng local(seed ^ (0xbf58476d1ce4e5b9ULL * (blk + 1)));
+    sample_gnp(block_size, p_block, local, [&](VertexId u, VertexId v) {
+      b.add_edge(members[u], members[v]);
+    });
+  }
+  return b.build();
+}
+
+Graph bipartite(VertexId n1, VertexId n2, double p, std::uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder b(n1 + n2);
+  for (VertexId u = 0; u < n1; ++u) {
+    for (VertexId v = 0; v < n2; ++v) {
+      if (rng.next_double() < p) b.add_edge(u, n1 + v);
+    }
+  }
+  return b.build();
+}
+
+Graph plant_clique(const Graph& g, VertexId clique_size, std::uint64_t seed,
+                   std::vector<VertexId>* planted) {
+  VertexId n = g.num_vertices();
+  if (clique_size > n) {
+    throw std::invalid_argument("plant_clique: clique larger than graph");
+  }
+  Rng rng(seed);
+  // Floyd's algorithm for a uniform k-subset.
+  std::unordered_set<VertexId> chosen;
+  for (VertexId j = n - clique_size; j < n; ++j) {
+    VertexId t = static_cast<VertexId>(rng.next_below(j + 1));
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  std::vector<VertexId> members(chosen.begin(), chosen.end());
+  std::sort(members.begin(), members.end());
+  if (planted) *planted = members;
+
+  GraphBuilder b(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId u : g.neighbors(v)) {
+      if (v < u) b.add_edge(v, u);
+    }
+  }
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    for (std::size_t j = i + 1; j < members.size(); ++j) {
+      b.add_edge(members[i], members[j]);
+    }
+  }
+  return b.build();
+}
+
+Graph graph_union(const Graph& a, const Graph& b) {
+  GraphBuilder builder(std::max(a.num_vertices(), b.num_vertices()));
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    for (VertexId u : a.neighbors(v)) {
+      if (v < u) builder.add_edge(v, u);
+    }
+  }
+  for (VertexId v = 0; v < b.num_vertices(); ++v) {
+    for (VertexId u : b.neighbors(v)) {
+      if (v < u) builder.add_edge(v, u);
+    }
+  }
+  return builder.build();
+}
+
+Graph complement(const Graph& g) {
+  VertexId n = g.num_vertices();
+  GraphBuilder b(n);
+  for (VertexId v = 0; v < n; ++v) {
+    auto nbrs = g.neighbors(v);
+    std::size_t idx = 0;
+    for (VertexId u = v + 1; u < n; ++u) {
+      while (idx < nbrs.size() && nbrs[idx] < u) ++idx;
+      if (idx < nbrs.size() && nbrs[idx] == u) continue;
+      b.add_edge(v, u);
+    }
+  }
+  return b.build();
+}
+
+}  // namespace lazymc::gen

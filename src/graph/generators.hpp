@@ -1,0 +1,85 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on 28 real-world graphs (SNAP / Network Repository /
+// webgraph corpora) which are not redistributable here.  These generators
+// produce laptop-scale graphs spanning the same structural regimes the
+// evaluation depends on: power-law degree distributions, community
+// structure, zero vs. large clique-core gap, and near-complete gene-
+// coexpression-like blocks.  See graph/suite.hpp for the named instances.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lazymc::gen {
+
+/// Erdős–Rényi G(n, p).  Expected density p.
+Graph gnp(VertexId n, double p, std::uint64_t seed);
+
+/// Uniform random graph with exactly m distinct edges.
+Graph gnm(VertexId n, EdgeId m, std::uint64_t seed);
+
+/// Complete graph K_n.
+Graph complete(VertexId n);
+
+/// Simple cycle C_n (n >= 3).
+Graph cycle(VertexId n);
+
+/// Simple path P_n.
+Graph path(VertexId n);
+
+/// Star with n-1 leaves.
+Graph star(VertexId n);
+
+/// 2D grid graph (rows x cols); models road networks (USAroad/CAroad are
+/// near-planar with tiny degeneracy and omega in {3,4}).
+Graph grid(VertexId rows, VertexId cols);
+
+/// Barabási–Albert preferential attachment: n vertices, each new vertex
+/// attaches to `attach` existing ones.  Power-law degrees, low degeneracy.
+Graph barabasi_albert(VertexId n, VertexId attach, std::uint64_t seed);
+
+/// RMAT / Kronecker-style power-law generator (a,b,c,d probabilities).
+/// Models web/social graphs with heavy-tailed degrees.
+Graph rmat(VertexId scale, EdgeId edges_per_vertex, double a, double b,
+           double c, std::uint64_t seed);
+
+/// Watts–Strogatz small world: ring of n vertices, k nearest neighbors,
+/// rewiring probability beta.
+Graph watts_strogatz(VertexId n, VertexId k, double beta, std::uint64_t seed);
+
+/// Relaxed caveman / planted-partition graph: `communities` cliques of
+/// `community_size` vertices, intra-community edges kept with p_intra,
+/// inter-community noise edges with expected count n*avg_inter/2.
+Graph planted_partition(VertexId communities, VertexId community_size,
+                        double p_intra, double avg_inter, std::uint64_t seed);
+
+/// Gene-coexpression-like graph: dense overlapping blocks over a small
+/// vertex set, mimicking bio-mouse-gene / bio-human-gene (tens of
+/// thousands of vertices, densities >> social graphs, large clique-core
+/// gap).  `blocks` dense G(block_size, p_block) subgraphs placed at random
+/// overlapping offsets.
+Graph gene_blocks(VertexId n, VertexId blocks, VertexId block_size,
+                  double p_block, std::uint64_t seed);
+
+/// Random bipartite graph: parts of size n1 and n2, each cross edge kept
+/// with probability p.  Triangle-free, so omega == 2 while the coreness can
+/// be large — the extreme clique-core-gap regime (yahoo-member in the
+/// paper: omega = 2, gap = 48).
+Graph bipartite(VertexId n1, VertexId n2, double p, std::uint64_t seed);
+
+/// Returns `g` with an additional clique planted on `clique_size` random
+/// vertices.  Used to control omega and the clique-core gap.
+Graph plant_clique(const Graph& g, VertexId clique_size, std::uint64_t seed,
+                   std::vector<VertexId>* planted = nullptr);
+
+/// Union of two graphs over max(n1, n2) vertices.
+Graph graph_union(const Graph& a, const Graph& b);
+
+/// Complement graph (on the same vertex set, self-loops excluded).
+/// Intended for small n (allocates O(n^2) work).
+Graph complement(const Graph& g);
+
+}  // namespace lazymc::gen

@@ -1,0 +1,39 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lazymc {
+
+Graph::Graph(std::vector<EdgeId> offsets, std::vector<VertexId> adjacency)
+    : offsets_(std::move(offsets)), adjacency_(std::move(adjacency)) {
+  if (offsets_.empty()) {
+    offsets_.push_back(0);
+  }
+  if (offsets_.back() != adjacency_.size()) {
+    throw std::invalid_argument("Graph: offsets/adjacency size mismatch");
+  }
+}
+
+bool Graph::has_edge(VertexId u, VertexId v) const {
+  auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+VertexId Graph::max_degree() const {
+  VertexId best = 0;
+  for (VertexId v = 0; v < num_vertices(); ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+bool is_clique(const Graph& g, std::span<const VertexId> clique) {
+  for (std::size_t i = 0; i < clique.size(); ++i) {
+    for (std::size_t j = i + 1; j < clique.size(); ++j) {
+      if (clique[i] == clique[j]) return false;
+      if (!g.has_edge(clique[i], clique[j])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace lazymc

@@ -1,0 +1,71 @@
+// Immutable simple undirected graph in CSR (compressed sparse row) form.
+//
+// Invariants maintained by GraphBuilder / the factory functions:
+//  * no self-loops, no duplicate edges,
+//  * adjacency is symmetric (u in N(v) iff v in N(u)),
+//  * each neighbor list is sorted ascending.
+//
+// Vertex ids are 32-bit; edge counts 64-bit (the paper's graphs reach
+// 9.3G edges; the synthetic suite stays far below, but the representation
+// does not impose an artificial ceiling).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lazymc {
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint64_t;
+
+/// Sentinel meaning "no vertex".
+inline constexpr VertexId kInvalidVertex = ~VertexId{0};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Takes ownership of CSR arrays.  offsets.size() == n+1,
+  /// adjacency.size() == offsets.back() == 2*undirected edge count.
+  Graph(std::vector<EdgeId> offsets, std::vector<VertexId> adjacency);
+
+  /// Number of vertices.
+  VertexId num_vertices() const {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges.
+  EdgeId num_edges() const { return adjacency_.size() / 2; }
+
+  /// Degree of v.
+  VertexId degree(VertexId v) const {
+    return static_cast<VertexId>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Sorted neighbor list of v.
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  /// Edge membership test via binary search: O(log deg(u)).
+  bool has_edge(VertexId u, VertexId v) const;
+
+  /// Largest degree in the graph (0 for the empty graph).
+  VertexId max_degree() const;
+
+  /// Raw CSR access (read-only) for algorithms that iterate everything.
+  const std::vector<EdgeId>& offsets() const { return offsets_; }
+  const std::vector<VertexId>& adjacency() const { return adjacency_; }
+
+ private:
+  std::vector<EdgeId> offsets_;
+  std::vector<VertexId> adjacency_;
+};
+
+/// True when `clique` (a list of distinct vertices) induces a complete
+/// subgraph of g.  Used throughout the tests and by solver postconditions.
+bool is_clique(const Graph& g, std::span<const VertexId> clique);
+
+}  // namespace lazymc

@@ -1,0 +1,132 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+
+namespace lazymc::io {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("lazymc::io: " + what);
+}
+
+std::ifstream open_or_throw(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open '" + path + "'");
+  return in;
+}
+
+}  // namespace
+
+Graph read_edge_list(std::istream& in) {
+  GraphBuilder builder;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    std::uint64_t u, v;
+    if (!(ls >> u >> v)) continue;  // tolerate stray lines
+    builder.add_edge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  return builder.build();
+}
+
+Graph read_dimacs(std::istream& in) {
+  GraphBuilder builder;
+  std::string line;
+  bool saw_problem = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    switch (line[0]) {
+      case 'c':
+        break;
+      case 'p': {
+        std::istringstream ls(line);
+        std::string p, kind;
+        std::uint64_t n = 0, m = 0;
+        if (!(ls >> p >> kind >> n >> m)) fail("malformed DIMACS 'p' line");
+        if (n > 0) builder.add_edge(static_cast<VertexId>(n - 1),
+                                    static_cast<VertexId>(n - 1));  // sizes n
+        saw_problem = true;
+        break;
+      }
+      case 'e': {
+        std::istringstream ls(line);
+        char e;
+        std::uint64_t u, v;
+        if (!(ls >> e >> u >> v)) fail("malformed DIMACS 'e' line");
+        if (u == 0 || v == 0) fail("DIMACS ids are 1-based");
+        builder.add_edge(static_cast<VertexId>(u - 1),
+                         static_cast<VertexId>(v - 1));
+        break;
+      }
+      default:
+        break;  // ignore unknown records (n, d, x, ...)
+    }
+  }
+  if (!saw_problem) fail("missing DIMACS 'p' line");
+  return builder.build();
+}
+
+Graph read_edge_list_file(const std::string& path) {
+  auto in = open_or_throw(path);
+  return read_edge_list(in);
+}
+
+Graph read_dimacs_file(const std::string& path) {
+  auto in = open_or_throw(path);
+  return read_dimacs(in);
+}
+
+Graph read_graph_file(const std::string& path) {
+  auto in = open_or_throw(path);
+  // Peek at the first non-empty line.
+  std::string line;
+  std::streampos start = in.tellg();
+  while (std::getline(in, line) && line.empty()) {
+  }
+  in.clear();
+  in.seekg(start);
+  if (!line.empty() && (line[0] == 'c' || line[0] == 'p')) {
+    return read_dimacs(in);
+  }
+  return read_edge_list(in);
+}
+
+void write_edge_list(const Graph& g, std::ostream& out) {
+  out << "# " << g.num_vertices() << " vertices, " << g.num_edges()
+      << " edges\n";
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId u : g.neighbors(v)) {
+      if (v < u) out << v << ' ' << u << '\n';
+    }
+  }
+}
+
+void write_dimacs(const Graph& g, std::ostream& out) {
+  out << "p edge " << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId u : g.neighbors(v)) {
+      if (v < u) out << "e " << (v + 1) << ' ' << (u + 1) << '\n';
+    }
+  }
+}
+
+void write_edge_list_file(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) fail("cannot open '" + path + "' for writing");
+  write_edge_list(g, out);
+}
+
+void write_dimacs_file(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) fail("cannot open '" + path + "' for writing");
+  write_dimacs(g, out);
+}
+
+}  // namespace lazymc::io

@@ -1,0 +1,36 @@
+// Graph readers/writers.
+//
+// Supported formats:
+//  * plain edge list: one "u v" pair per line, '#' or '%' comments;
+//  * DIMACS .clq / .col: "p edge N M" header, "e u v" lines (1-based).
+//
+// These are the formats the paper's graph corpus ships in (SNAP edge
+// lists, DIMACS clique instances).  `read_graph` auto-detects by content.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace lazymc::io {
+
+/// Reads a plain whitespace-separated edge list.  Lines starting with
+/// '#' or '%' are comments.  Vertex ids are 0-based.
+Graph read_edge_list(std::istream& in);
+Graph read_edge_list_file(const std::string& path);
+
+/// Reads a DIMACS "p edge" file ("c" comments, "e u v" edges, 1-based ids).
+Graph read_dimacs(std::istream& in);
+Graph read_dimacs_file(const std::string& path);
+
+/// Auto-detects DIMACS (leading 'c'/'p' records) vs plain edge list.
+Graph read_graph_file(const std::string& path);
+
+/// Writers (useful for exporting the synthetic suite).
+void write_edge_list(const Graph& g, std::ostream& out);
+void write_dimacs(const Graph& g, std::ostream& out);
+void write_edge_list_file(const Graph& g, const std::string& path);
+void write_dimacs_file(const Graph& g, const std::string& path);
+
+}  // namespace lazymc::io

@@ -1,0 +1,75 @@
+#include "graph/subgraph.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/builder.hpp"
+
+namespace lazymc {
+
+DenseSubgraph DenseSubgraph::complement() const {
+  DenseSubgraph c;
+  c.vertices = vertices;
+  std::size_t n = size();
+  c.adj.assign(n, DynamicBitset(n));
+  EdgeId m = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && !adj[i].test(j)) {
+        c.adj[i].set(j);
+        if (i < j) ++m;
+      }
+    }
+  }
+  c.num_edges = m;
+  return c;
+}
+
+DenseSubgraph induce_dense(const Graph& g, std::span<const VertexId> verts) {
+  DenseSubgraph s;
+  s.vertices.assign(verts.begin(), verts.end());
+  std::size_t n = verts.size();
+  s.adj.assign(n, DynamicBitset(n));
+
+  // original id -> local id map.  A hash map keeps extraction O(|verts| +
+  // sum deg) without touching an O(|V|) scatter array, which matters when
+  // many small subgraphs are extracted in parallel.
+  std::unordered_map<VertexId, std::size_t> local;
+  local.reserve(n * 2);
+  for (std::size_t i = 0; i < n; ++i) local.emplace(verts[i], i);
+
+  EdgeId m = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (VertexId u : g.neighbors(verts[i])) {
+      auto it = local.find(u);
+      if (it == local.end()) continue;
+      std::size_t j = it->second;
+      if (j == i) continue;
+      s.adj[i].set(j);
+      if (i < j) ++m;
+    }
+  }
+  s.num_edges = m;
+  return s;
+}
+
+Graph induce_csr(const Graph& g, std::span<const VertexId> verts,
+                 std::vector<VertexId>* local_to_orig) {
+  std::unordered_map<VertexId, VertexId> local;
+  local.reserve(verts.size() * 2);
+  for (std::size_t i = 0; i < verts.size(); ++i) {
+    local.emplace(verts[i], static_cast<VertexId>(i));
+  }
+  GraphBuilder b(static_cast<VertexId>(verts.size()));
+  for (std::size_t i = 0; i < verts.size(); ++i) {
+    for (VertexId u : g.neighbors(verts[i])) {
+      auto it = local.find(u);
+      if (it == local.end()) continue;
+      if (it->second > i) b.add_edge(static_cast<VertexId>(i), it->second);
+    }
+  }
+  if (local_to_orig) local_to_orig->assign(verts.begin(), verts.end());
+  return b.build();
+}
+
+}  // namespace lazymc

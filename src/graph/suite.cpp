@@ -1,0 +1,308 @@
+#include "graph/suite.hpp"
+
+#include <functional>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace lazymc::suite {
+namespace {
+
+using gen::barabasi_albert;
+using gen::bipartite;
+using gen::gene_blocks;
+using gen::gnp;
+using gen::graph_union;
+using gen::grid;
+using gen::planted_partition;
+using gen::plant_clique;
+using gen::rmat;
+using gen::watts_strogatz;
+
+/// Triangulated grid: grid graph plus one diagonal per cell.  Models road
+/// networks (planar-ish, degeneracy 3, omega 3-4).
+Graph road(VertexId rows, VertexId cols, std::uint64_t seed) {
+  GraphBuilder b(rows * cols);
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+      if (r + 1 < rows && c + 1 < cols) b.add_edge(id(r, c), id(r + 1, c + 1));
+    }
+  }
+  Graph base = b.build();
+  // A single K4 somewhere yields omega = 4 = degeneracy + 1 (gap 0),
+  // matching USAroad/CAroad in Table I.
+  return plant_clique(base, 4, seed);
+}
+
+/// Scale multipliers per suite scale.
+struct Dims {
+  VertexId n_small;   // generic "small graph" size
+  VertexId n_large;   // generic "large graph" size
+  VertexId clique;    // generic planted clique size
+};
+
+Dims dims(Scale s) {
+  switch (s) {
+    case Scale::kTiny:
+      return {200, 600, 12};
+    case Scale::kSmall:
+      return {800, 2500, 18};
+    case Scale::kMedium:
+    default:
+      return {6000, 24000, 30};
+  }
+}
+
+using BuilderFn = std::function<Graph(Scale)>;
+
+struct Spec {
+  const char* name;
+  const char* regime;
+  bool zero_gap;
+  BuilderFn build;
+};
+
+// Scaled helper: fraction of the generic large size, at least `min`.
+VertexId scaled(Scale s, double frac, VertexId min_n = 64) {
+  auto d = dims(s);
+  auto v = static_cast<VertexId>(static_cast<double>(d.n_large) * frac);
+  return std::max(v, min_n);
+}
+
+const std::vector<Spec>& specs() {
+  static const std::vector<Spec> kSpecs = {
+      // --- road networks: tiny degeneracy, omega 4, gap 0 ---------------
+      {"USAroad", "triangulated grid road network", true,
+       [](Scale s) {
+         VertexId side = static_cast<VertexId>(
+             s == Scale::kTiny ? 24 : (s == Scale::kSmall ? 50 : 160));
+         return road(side, side, 11);
+       }},
+      {"CAroad", "triangulated grid road network (smaller)", true,
+       [](Scale s) {
+         VertexId side = static_cast<VertexId>(
+             s == Scale::kTiny ? 16 : (s == Scale::kSmall ? 32 : 100));
+         return road(side, side, 13);
+       }},
+
+      // --- heavy-tailed social/web graphs, large gap --------------------
+      {"sinaweibo", "power-law microblog, huge hub degrees, large gap", false,
+       [](Scale s) {
+         auto d = dims(s);
+         Graph g = rmat(s == Scale::kTiny ? 9 : (s == Scale::kSmall ? 11 : 14),
+                        8, 0.57, 0.19, 0.19, 21);
+         return plant_clique(g, d.clique, 22);
+       }},
+      {"friendster", "very sparse social graph, tiny clique, huge gap", false,
+       [](Scale s) {
+         Graph g = rmat(s == Scale::kTiny ? 9 : (s == Scale::kSmall ? 11 : 15),
+                        3, 0.57, 0.19, 0.19, 31);
+         return plant_clique(g, 8, 32);
+       }},
+      {"webcc", "web crawl with one huge dense community", false,
+       [](Scale s) {
+         auto d = dims(s);
+         Graph bg = barabasi_albert(scaled(s, 0.6), 4, 41);
+         Graph dense = gnp(d.clique * 3, 0.7, 42);
+         return plant_clique(graph_union(bg, dense), d.clique, 43);
+       }},
+      {"soflow", "Q&A graph, power-law, moderate gap", false,
+       [](Scale s) {
+         auto d = dims(s);
+         Graph g = rmat(s == Scale::kTiny ? 9 : (s == Scale::kSmall ? 11 : 14),
+                        6, 0.55, 0.2, 0.2, 51);
+         return plant_clique(g, d.clique / 2 + 4, 52);
+       }},
+      {"talk", "communication graph, star-dominated, moderate gap", false,
+       [](Scale s) {
+         Graph g = barabasi_albert(scaled(s, 0.8), 3, 61);
+         Graph noise = gnp(scaled(s, 0.05), 0.08, 62);
+         return plant_clique(graph_union(g, noise), 10, 63);
+       }},
+      {"patents", "citation graph, small cliques, moderate gap", false,
+       [](Scale s) {
+         Graph g = watts_strogatz(scaled(s, 0.9), 8, 0.3, 71);
+         Graph noise = gnp(scaled(s, 0.03), 0.15, 72);
+         return plant_clique(graph_union(g, noise), 9, 73);
+       }},
+      {"LiveJournal", "social graph with large near-clique community", false,
+       [](Scale s) {
+         auto d = dims(s);
+         // Communities plus one small dense core: the core carries the
+         // high coreness (non-zero gap) while most of the graph stays
+         // outside the must subgraph (paper: omega 321, gap 52).
+         // Community coreness stays below the planted clique so only the
+         // compact dense core remains in the must subgraph.
+         Graph g = planted_partition(
+             static_cast<VertexId>(s == Scale::kTiny ? 10 : 24),
+             scaled(s, 0.004, 24), 0.3, 3.0, 81);
+         Graph core = gnp(scaled(s, 0.0125, 60), 0.55, 83);
+         return plant_clique(graph_union(g, core), d.clique + 6, 82);
+       }},
+      {"flickr", "photo-sharing graph, many overlapping dense zones", false,
+       [](Scale s) {
+         auto d = dims(s);
+         Graph g = gene_blocks(scaled(s, 0.12, 120), 30, scaled(s, 0.008, 24),
+                               0.5, 91);
+         Graph bg = barabasi_albert(scaled(s, 0.4), 3, 92);
+         return plant_clique(graph_union(g, bg), d.clique / 2 + 2, 93);
+       }},
+      {"yahoo", "bipartite-ish messaging graph: omega 2, huge gap", false,
+       [](Scale s) {
+         return bipartite(scaled(s, 0.25), scaled(s, 0.25),
+                          s == Scale::kMedium ? 0.004 : 0.02, 101);
+       }},
+      {"warwiki", "wiki graph, one dominant dense core, small gap", false,
+       [](Scale s) {
+         auto d = dims(s);
+         Graph core = gnp(d.clique * 2, 0.92, 111);
+         Graph bg = barabasi_albert(scaled(s, 0.5), 4, 112);
+         return plant_clique(graph_union(core, bg), d.clique + 8, 113);
+       }},
+      {"topcats", "wiki categories, power-law, moderate gap", false,
+       [](Scale s) {
+         Graph g = rmat(s == Scale::kTiny ? 9 : (s == Scale::kSmall ? 11 : 13),
+                        10, 0.5, 0.22, 0.22, 121);
+         return plant_clique(g, 14, 122);
+       }},
+      {"pokec", "social network, modest gap", false,
+       [](Scale s) {
+         Graph g = planted_partition(
+             static_cast<VertexId>(s == Scale::kTiny ? 8 : 20),
+             scaled(s, 0.012, 24), 0.45, 6.0, 131);
+         return plant_clique(g, 12, 132);
+       }},
+      {"orkut", "dense social network, dense community subproblems", false,
+       [](Scale s) {
+         // Compact, dense communities: the subgraphs that survive the
+         // degree filters are near-cliques whose sparse complements suit
+         // the k-VC route, as with the real orkut (paper Figs. 3/6).
+         Graph g = planted_partition(
+             static_cast<VertexId>(s == Scale::kTiny ? 8 : 20),
+             scaled(s, 0.004, 20), 0.92, 10.0, 141);
+         return plant_clique(g, 16, 142);
+       }},
+      {"higgs", "twitter cascade graph, dense core", false,
+       [](Scale s) {
+         auto d = dims(s);
+         Graph core = gnp(d.clique * 3, 0.55, 151);
+         Graph bg = rmat(s == Scale::kTiny ? 8 : (s == Scale::kSmall ? 10 : 13),
+                         6, 0.55, 0.2, 0.2, 152);
+         return plant_clique(graph_union(core, bg), d.clique / 2 + 5, 153);
+       }},
+
+      // --- zero-gap graphs: planted clique defines the degeneracy -------
+      {"uk-union", "web graph, giant clique, gap 0", true,
+       [](Scale s) {
+         auto d = dims(s);
+         Graph bg = barabasi_albert(dims(s).n_large, 5, 161);
+         return plant_clique(bg, d.clique + 10, 162);
+       }},
+      {"dimacs", "web-derived graph, giant clique, gap 0", true,
+       [](Scale s) {
+         auto d = dims(s);
+         Graph bg = barabasi_albert(scaled(s, 0.8), 6, 171);
+         return plant_clique(bg, d.clique + 12, 172);
+       }},
+      {"hudong", "encyclopedia graph, giant clique, gap 0", true,
+       [](Scale s) {
+         auto d = dims(s);
+         Graph bg = barabasi_albert(scaled(s, 0.5), 5, 181);
+         return plant_clique(bg, d.clique + 6, 182);
+       }},
+      {"dblp", "co-authorship: cliques by construction, gap 0", true,
+       [](Scale s) {
+         // Papers = small cliques of authors; the largest "paper" sets omega.
+         auto d = dims(s);
+         Graph g = planted_partition(
+             static_cast<VertexId>(s == Scale::kTiny ? 20 : 60),
+             static_cast<VertexId>(8), 1.0, 1.5, 191);
+         return plant_clique(g, d.clique / 2 + 6, 192);
+       }},
+      {"it", "web host graph, giant clique, gap 0", true,
+       [](Scale s) {
+         auto d = dims(s);
+         Graph bg = barabasi_albert(scaled(s, 0.2), 6, 201);
+         return plant_clique(bg, d.clique + 14, 202);
+       }},
+      {"hollywood", "actor collaboration: large clique, gap 0", true,
+       [](Scale s) {
+         auto d = dims(s);
+         Graph g = planted_partition(
+             static_cast<VertexId>(s == Scale::kTiny ? 12 : 40),
+             static_cast<VertexId>(12), 1.0, 2.0, 211);
+         return plant_clique(g, d.clique + 16, 212);
+       }},
+      {"uk", "small web crawl, giant clique, gap 0", true,
+       [](Scale s) {
+         auto d = dims(s);
+         Graph bg = barabasi_albert(scaled(s, 0.06, 100), 8, 221);
+         return plant_clique(bg, d.clique + 10, 222);
+       }},
+
+      // --- dense biological networks: high density, large gap -----------
+      {"WormNet", "gene functional network, dense, small", false,
+       [](Scale s) {
+         VertexId n = s == Scale::kTiny ? 150 : (s == Scale::kSmall ? 400 : 1600);
+         Graph g = gene_blocks(n, 12, n / 6, 0.75, 231);
+         return plant_clique(g, static_cast<VertexId>(n / 12 + 4), 232);
+       }},
+      {"HS-CX", "human gene coexpression (small), dense", false,
+       [](Scale s) {
+         VertexId n = s == Scale::kTiny ? 120 : (s == Scale::kSmall ? 300 : 900);
+         Graph g = gene_blocks(n, 10, n / 5, 0.8, 241);
+         return plant_clique(g, static_cast<VertexId>(n / 10 + 4), 242);
+       }},
+      {"mouse", "mouse gene network: dense blocks, large gap", false,
+       [](Scale s) {
+         // p well below 1: block coreness stays near p*size while omega is
+         // far smaller — the paper's gene networks have omega ~ d/2.
+         VertexId n = s == Scale::kTiny ? 160 : (s == Scale::kSmall ? 360 : 1000);
+         return gene_blocks(n, 16, n / 4, 0.62, 251);
+       }},
+      {"human-1", "human gene network 1: dense blocks, large gap", false,
+       [](Scale s) {
+         VertexId n = s == Scale::kTiny ? 140 : (s == Scale::kSmall ? 320 : 900);
+         return gene_blocks(n, 14, n / 3, 0.62, 261);
+       }},
+      {"human-2", "human gene network 2: dense blocks, large gap", false,
+       [](Scale s) {
+         VertexId n = s == Scale::kTiny ? 130 : (s == Scale::kSmall ? 300 : 800);
+         return gene_blocks(n, 14, n / 3, 0.66, 271);
+       }},
+  };
+  return kSpecs;
+}
+
+}  // namespace
+
+std::vector<std::string> instance_names() {
+  std::vector<std::string> names;
+  names.reserve(specs().size());
+  for (const Spec& s : specs()) names.emplace_back(s.name);
+  return names;
+}
+
+Instance make_instance(const std::string& name, Scale scale) {
+  for (const Spec& s : specs()) {
+    if (name == s.name) {
+      return Instance{s.name, s.regime, s.zero_gap, s.build(scale)};
+    }
+  }
+  throw std::invalid_argument("unknown suite instance: " + name);
+}
+
+std::vector<Instance> make_suite(Scale scale) {
+  std::vector<Instance> out;
+  out.reserve(specs().size());
+  for (const Spec& s : specs()) {
+    out.push_back(Instance{s.name, s.regime, s.zero_gap, s.build(scale)});
+  }
+  return out;
+}
+
+}  // namespace lazymc::suite

@@ -1,0 +1,110 @@
+#include "hashset/hopscotch_set.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace lazymc {
+namespace {
+
+std::size_t table_size_for(std::size_t expected) {
+  // Target load factor <= 2/3; minimum size covers the hop range.
+  std::size_t want = std::max<std::size_t>(expected * 3 / 2 + 1, 32);
+  return std::bit_ceil(want);
+}
+
+}  // namespace
+
+void HopscotchSet::reserve(std::size_t expected) {
+  std::size_t cap = table_size_for(expected);
+  buckets_.assign(cap, kEmpty);
+  hop_mask_.assign(cap, 0);
+  size_ = 0;
+  shift_ = 64 - static_cast<unsigned>(std::countr_zero(cap));
+}
+
+bool HopscotchSet::insert(VertexId v) {
+  if (v == kEmpty) throw std::invalid_argument("HopscotchSet: reserved key");
+  if (buckets_.empty()) reserve(kHopRange);
+  if (contains(v)) return false;
+  while (!try_insert(v)) grow_and_rehash();
+  ++size_;
+  return true;
+}
+
+bool HopscotchSet::try_insert(VertexId v) {
+  const std::size_t cap = buckets_.size();
+  const std::size_t home = index_of(v);
+
+  // Linear probe for a free slot.
+  std::size_t dist = 0;
+  for (; dist < cap; ++dist) {
+    if (buckets_[wrap(home + dist)] == kEmpty) break;
+  }
+  if (dist == cap) return false;  // table full
+
+  // Hopscotch displacement: move the free slot backwards until it lies
+  // within the hop range of `home`.
+  while (dist >= kHopRange) {
+    // Look at the kHopRange-1 buckets preceding the free slot; find an
+    // element whose home allows it to move into the free slot.
+    bool moved = false;
+    for (std::size_t back = kHopRange - 1; back > 0; --back) {
+      std::size_t candidate_pos = wrap(home + dist - back);
+      VertexId occupant = buckets_[candidate_pos];
+      if (occupant == kEmpty) continue;
+      std::size_t occ_home = index_of(occupant);
+      // Distance from occupant's home to the free slot (mod cap).
+      std::size_t free_pos = wrap(home + dist);
+      std::size_t d = (free_pos - occ_home) & (cap - 1);
+      if (d >= kHopRange) continue;  // would leave its neighborhood
+      // Move occupant into the free slot.
+      std::size_t old_d = (candidate_pos - occ_home) & (cap - 1);
+      buckets_[free_pos] = occupant;
+      buckets_[candidate_pos] = kEmpty;
+      hop_mask_[occ_home] =
+          (hop_mask_[occ_home] & ~(1u << old_d)) | (1u << d);
+      dist -= back;
+      moved = true;
+      break;
+    }
+    if (!moved) return false;  // displacement failed -> grow
+  }
+
+  buckets_[wrap(home + dist)] = v;
+  hop_mask_[home] |= 1u << dist;
+  return true;
+}
+
+void HopscotchSet::grow_and_rehash() {
+  std::vector<VertexId> elements;
+  elements.reserve(size_);
+  for (VertexId x : buckets_) {
+    if (x != kEmpty) elements.push_back(x);
+  }
+  std::size_t new_cap = buckets_.empty() ? 32 : buckets_.size() * 2;
+  for (;;) {
+    buckets_.assign(new_cap, kEmpty);
+    hop_mask_.assign(new_cap, 0);
+    shift_ = 64 - static_cast<unsigned>(std::countr_zero(new_cap));
+    bool ok = true;
+    for (VertexId x : elements) {
+      if (!try_insert(x)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return;
+    new_cap *= 2;
+  }
+}
+
+std::vector<VertexId> HopscotchSet::to_sorted_vector() const {
+  std::vector<VertexId> out;
+  out.reserve(size_);
+  for_each([&](VertexId v) { out.push_back(v); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace lazymc

@@ -1,0 +1,138 @@
+#include "intersect/intersect.hpp"
+
+#include <algorithm>
+
+namespace lazymc {
+
+bool SortedLookup::contains(VertexId v) const {
+  return std::binary_search(data_.begin(), data_.end(), v);
+}
+
+std::size_t intersect_sorted(std::span<const VertexId> a,
+                             std::span<const VertexId> b, VertexId* out) {
+  std::size_t i = 0, j = 0, n = 0;
+  while (i < a.size() && j < b.size()) {
+    VertexId x = a[i], y = b[j];
+    if (x < y) {
+      ++i;
+    } else if (y < x) {
+      ++j;
+    } else {
+      out[n++] = x;
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+std::vector<VertexId> intersect_sorted(std::span<const VertexId> a,
+                                       std::span<const VertexId> b) {
+  std::vector<VertexId> out(std::min(a.size(), b.size()));
+  out.resize(intersect_sorted(a, b, out.data()));
+  return out;
+}
+
+std::size_t intersect_gallop(std::span<const VertexId> a,
+                             std::span<const VertexId> b, VertexId* out) {
+  // Ensure a is the smaller side.
+  if (a.size() > b.size()) std::swap(a, b);
+  std::size_t n = 0;
+  const VertexId* lo = b.data();
+  const VertexId* end = b.data() + b.size();
+  for (VertexId x : a) {
+    // Exponential search from the current frontier.
+    std::size_t step = 1;
+    const VertexId* probe = lo;
+    while (probe + step < end && *(probe + step) < x) {
+      probe += step;
+      step <<= 1;
+    }
+    const VertexId* hi = std::min(probe + step + 1, end);
+    lo = std::lower_bound(probe, hi, x);
+    if (lo != end && *lo == x) {
+      out[n++] = x;
+      ++lo;
+    }
+    if (lo == end) break;
+  }
+  return n;
+}
+
+int intersect_sorted_gt(std::span<const VertexId> a,
+                        std::span<const VertexId> b, VertexId* out,
+                        std::int64_t theta) {
+  const std::int64_t n = static_cast<std::int64_t>(a.size());
+  const std::int64_t m = static_cast<std::int64_t>(b.size());
+  if (n <= theta || m <= theta) return kTooSmall;
+  // The intersection can lose at most (n - hits_possible) elements per
+  // side; track the remaining budget on both.
+  std::int64_t ha = n - theta;  // tolerable misses from a
+  std::int64_t hb = m - theta;  // tolerable misses from b
+  std::size_t i = 0, j = 0;
+  std::int64_t written = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+      if (--ha <= 0) return kTooSmall;
+    } else if (b[j] < a[i]) {
+      ++j;
+      if (--hb <= 0) return kTooSmall;
+    } else {
+      out[written++] = a[i];
+      ++i;
+      ++j;
+    }
+  }
+  // Elements left unscanned on the exhausted side are all misses for the
+  // other side.
+  if (i < a.size() && static_cast<std::int64_t>(a.size() - i) >= ha) {
+    return kTooSmall;
+  }
+  if (j < b.size() && static_cast<std::int64_t>(b.size() - j) >= hb) {
+    return kTooSmall;
+  }
+  return written > theta ? static_cast<int>(written) : kTooSmall;
+}
+
+bool intersect_sorted_size_gt_bool(std::span<const VertexId> a,
+                                   std::span<const VertexId> b,
+                                   std::int64_t theta,
+                                   bool enable_second_exit) {
+  const std::int64_t n = static_cast<std::int64_t>(a.size());
+  const std::int64_t m = static_cast<std::int64_t>(b.size());
+  if (n <= theta || m <= theta) return false;
+  std::int64_t ha = n - theta;
+  std::int64_t hb = m - theta;
+  std::size_t i = 0, j = 0;
+  std::int64_t hits = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+      if (--ha <= 0) return false;
+    } else if (b[j] < a[i]) {
+      ++j;
+      if (--hb <= 0) return false;
+    } else {
+      ++hits;
+      if (hits > theta && enable_second_exit) return true;  // second exit
+      ++i;
+      ++j;
+    }
+  }
+  return hits > theta;
+}
+
+std::vector<VertexId> intersect_reference(std::span<const VertexId> a,
+                                          std::span<const VertexId> b) {
+  std::vector<VertexId> sa(a.begin(), a.end());
+  std::vector<VertexId> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  std::vector<VertexId> out;
+  std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+}  // namespace lazymc

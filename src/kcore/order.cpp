@@ -1,0 +1,174 @@
+#include "kcore/order.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/parallel.hpp"
+
+namespace lazymc::kcore {
+namespace {
+
+/// Stable counting sort of `items` by key(item); keys in [0, num_keys).
+std::vector<VertexId> counting_sort(const std::vector<VertexId>& items,
+                                    std::size_t num_keys,
+                                    const std::vector<VertexId>& key) {
+  std::vector<std::size_t> count(num_keys + 1, 0);
+  for (VertexId v : items) ++count[key[v] + 1];
+  for (std::size_t i = 1; i < count.size(); ++i) count[i] += count[i - 1];
+  std::vector<VertexId> out(items.size());
+  for (VertexId v : items) out[count[key[v]]++] = v;
+  return out;
+}
+
+/// Parallel stable counting sort (SAPCo pattern): the input is split into
+/// per-thread blocks; each thread histograms its block; a serial prefix
+/// sum over (key, block) pairs assigns each (block, key) run a disjoint
+/// output range; threads scatter independently.  Stability follows from
+/// blocks being contiguous and scanned in order.
+std::vector<VertexId> counting_sort_parallel(
+    const std::vector<VertexId>& items, std::size_t num_keys,
+    const std::vector<VertexId>& key) {
+  const std::size_t n = items.size();
+  const std::size_t p = num_threads();
+  if (n < 4096 || p == 1) return counting_sort(items, num_keys, key);
+  const std::size_t block = (n + p - 1) / p;
+
+  // hist[t][k]: occurrences of key k in block t.
+  std::vector<std::vector<std::size_t>> hist(
+      p, std::vector<std::size_t>(num_keys, 0));
+  thread_pool().parallel_invoke_all([&](std::size_t t) {
+    std::size_t lo = t * block, hi = std::min(n, lo + block);
+    for (std::size_t i = lo; i < hi; ++i) ++hist[t][key[items[i]]];
+  });
+
+  // Serial prefix over key-major, block-minor order: output offset of the
+  // first key-k element of block t.
+  std::size_t running = 0;
+  for (std::size_t k = 0; k < num_keys; ++k) {
+    for (std::size_t t = 0; t < p; ++t) {
+      std::size_t c = hist[t][k];
+      hist[t][k] = running;
+      running += c;
+    }
+  }
+
+  std::vector<VertexId> out(n);
+  thread_pool().parallel_invoke_all([&](std::size_t t) {
+    std::size_t lo = t * block, hi = std::min(n, lo + block);
+    std::vector<std::size_t>& cursor = hist[t];
+    for (std::size_t i = lo; i < hi; ++i) {
+      out[cursor[key[items[i]]]++] = items[i];
+    }
+  });
+  return out;
+}
+
+VertexOrder finish_order(std::vector<VertexId> items) {
+  VertexOrder order;
+  order.new_to_orig = std::move(items);
+  order.orig_to_new.assign(order.new_to_orig.size(), 0);
+  for (VertexId i = 0; i < order.new_to_orig.size(); ++i) {
+    order.orig_to_new[order.new_to_orig[i]] = i;
+  }
+  return order;
+}
+
+}  // namespace
+
+VertexOrder order_by_coreness_degree(const Graph& g,
+                                     const std::vector<VertexId>& coreness) {
+  const VertexId n = g.num_vertices();
+  if (coreness.size() != n) {
+    throw std::invalid_argument("order_by_coreness_degree: size mismatch");
+  }
+  std::vector<VertexId> items(n);
+  for (VertexId v = 0; v < n; ++v) items[v] = v;
+
+  std::vector<VertexId> degree(n);
+  VertexId max_deg = 0, max_core = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = g.degree(v);
+    max_deg = std::max(max_deg, degree[v]);
+    max_core = std::max(max_core, coreness[v]);
+  }
+  // Secondary key first (stable sorts compose right-to-left).
+  items = counting_sort(items, max_deg + 1, degree);
+  items = counting_sort(items, max_core + 1, coreness);
+  return finish_order(std::move(items));
+}
+
+VertexOrder order_by_coreness_degree_parallel(
+    const Graph& g, const std::vector<VertexId>& coreness) {
+  const VertexId n = g.num_vertices();
+  if (coreness.size() != n) {
+    throw std::invalid_argument(
+        "order_by_coreness_degree_parallel: size mismatch");
+  }
+  std::vector<VertexId> items(n);
+  std::vector<VertexId> degree(n);
+  for (VertexId v = 0; v < n; ++v) {
+    items[v] = v;
+    degree[v] = g.degree(v);
+  }
+  VertexId max_deg = 0, max_core = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    max_deg = std::max(max_deg, degree[v]);
+    max_core = std::max(max_core, coreness[v]);
+  }
+  items = counting_sort_parallel(items, max_deg + 1, degree);
+  items = counting_sort_parallel(items, max_core + 1, coreness);
+  return finish_order(std::move(items));
+}
+
+VertexOrder order_from_peel(const Graph& g,
+                            const std::vector<VertexId>& peel_order) {
+  const VertexId n = g.num_vertices();
+  VertexOrder order;
+  order.new_to_orig.reserve(n);
+  std::vector<char> seen(n, 0);
+  for (VertexId v : peel_order) {
+    order.new_to_orig.push_back(v);
+    seen[v] = 1;
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (!seen[v]) order.new_to_orig.push_back(v);
+  }
+  order.orig_to_new.assign(n, 0);
+  for (VertexId i = 0; i < n; ++i) order.orig_to_new[order.new_to_orig[i]] = i;
+  return order;
+}
+
+Graph relabel(const Graph& g, const VertexOrder& order) {
+  const VertexId n = g.num_vertices();
+  std::vector<EdgeId> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (VertexId new_v = 0; new_v < n; ++new_v) {
+    offsets[new_v + 1] =
+        offsets[new_v] + g.degree(order.new_to_orig[new_v]);
+  }
+  std::vector<VertexId> adjacency(offsets[n]);
+  for (VertexId new_v = 0; new_v < n; ++new_v) {
+    VertexId orig = order.new_to_orig[new_v];
+    EdgeId out = offsets[new_v];
+    for (VertexId u : g.neighbors(orig)) {
+      adjacency[out++] = order.orig_to_new[u];
+    }
+    std::sort(adjacency.begin() + offsets[new_v],
+              adjacency.begin() + offsets[new_v + 1]);
+  }
+  return Graph(std::move(offsets), std::move(adjacency));
+}
+
+VertexId max_right_neighborhood(const Graph& g, const VertexOrder& order) {
+  VertexId best = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    VertexId count = 0;
+    VertexId pos = order.orig_to_new[v];
+    for (VertexId u : g.neighbors(v)) {
+      if (order.orig_to_new[u] > pos) ++count;
+    }
+    best = std::max(best, count);
+  }
+  return best;
+}
+
+}  // namespace lazymc::kcore

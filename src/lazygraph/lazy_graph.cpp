@@ -1,0 +1,136 @@
+#include "lazygraph/lazy_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "intersect/intersect.hpp"
+#include "support/parallel.hpp"
+
+namespace lazymc {
+
+bool NeighborhoodView::contains(VertexId v) const {
+  if (hash_) return hash_->contains(v);
+  return std::binary_search(sorted_.begin(), sorted_.end(), v);
+}
+
+LazyGraph::LazyGraph(const Graph& g, const kcore::VertexOrder& order,
+                     const std::vector<VertexId>& coreness_orig,
+                     const std::atomic<VertexId>* incumbent_size)
+    : base_(&g),
+      order_(&order),
+      incumbent_size_(incumbent_size),
+      n_(g.num_vertices()),
+      flags_(g.num_vertices()),
+      locks_(std::make_unique<SpinLock[]>(g.num_vertices())),
+      hash_(g.num_vertices()),
+      sorted_(g.num_vertices()),
+      right_begin_(g.num_vertices(), 0) {
+  if (coreness_orig.size() != n_ || order.size() != n_) {
+    throw std::invalid_argument("LazyGraph: order/coreness size mismatch");
+  }
+  coreness_new_.resize(n_);
+  for (VertexId v = 0; v < n_; ++v) {
+    coreness_new_[v] = coreness_orig[order.new_to_orig[v]];
+  }
+  for (auto& f : flags_) f.store(0, std::memory_order_relaxed);
+}
+
+std::vector<VertexId> LazyGraph::filtered_neighbors(VertexId v) const {
+  // Lazy filtering by coreness against the incumbent size *now*
+  // (Algorithm 2 line 20).  A relaxed read is safe: the incumbent only
+  // grows, so a stale (smaller) value merely filters less.
+  const VertexId bound = incumbent_size_
+                             ? incumbent_size_->load(std::memory_order_relaxed)
+                             : 0;
+  const VertexId orig = order_->new_to_orig[v];
+  std::vector<VertexId> result;
+  auto nbrs = base_->neighbors(orig);
+  result.reserve(nbrs.size());
+  std::size_t filtered = 0;
+  for (VertexId u_orig : nbrs) {
+    VertexId u = order_->orig_to_new[u_orig];
+    if (coreness_new_[u] >= bound) {
+      result.push_back(u);
+    } else {
+      ++filtered;
+    }
+  }
+  stat_kept_.fetch_add(result.size(), std::memory_order_relaxed);
+  stat_filtered_.fetch_add(filtered, std::memory_order_relaxed);
+  return result;
+}
+
+void LazyGraph::build_hash(VertexId v) {
+  SpinLockGuard guard(locks_[v]);
+  if (flags_[v].load(std::memory_order_relaxed) & kHashBuilt) return;
+  std::vector<VertexId> nbrs = filtered_neighbors(v);
+  hash_[v].reserve(nbrs.size());
+  for (VertexId u : nbrs) hash_[v].insert(u);
+  stat_hash_built_.fetch_add(1, std::memory_order_relaxed);
+  flags_[v].fetch_or(kHashBuilt, std::memory_order_release);
+}
+
+void LazyGraph::build_sorted(VertexId v) {
+  SpinLockGuard guard(locks_[v]);
+  if (flags_[v].load(std::memory_order_relaxed) & kSortedBuilt) return;
+  std::vector<VertexId> nbrs = filtered_neighbors(v);
+  std::sort(nbrs.begin(), nbrs.end());
+  sorted_[v] = std::move(nbrs);
+  right_begin_[v] = static_cast<std::uint32_t>(
+      std::upper_bound(sorted_[v].begin(), sorted_[v].end(), v) -
+      sorted_[v].begin());
+  stat_sorted_built_.fetch_add(1, std::memory_order_relaxed);
+  flags_[v].fetch_or(kSortedBuilt, std::memory_order_release);
+}
+
+const HopscotchSet& LazyGraph::hashed_neighborhood(VertexId v) {
+  if (!(flags_[v].load(std::memory_order_acquire) & kHashBuilt)) {
+    build_hash(v);
+  }
+  return hash_[v];
+}
+
+std::span<const VertexId> LazyGraph::sorted_neighborhood(VertexId v) {
+  if (!(flags_[v].load(std::memory_order_acquire) & kSortedBuilt)) {
+    build_sorted(v);
+  }
+  return {sorted_[v].data(), sorted_[v].size()};
+}
+
+std::span<const VertexId> LazyGraph::right_neighborhood(VertexId v) {
+  auto all = sorted_neighborhood(v);
+  return all.subspan(right_begin_[v]);
+}
+
+NeighborhoodView LazyGraph::membership(VertexId v) {
+  std::uint8_t f = flags_[v].load(std::memory_order_acquire);
+  if (f & kHashBuilt) return NeighborhoodView(&hash_[v], {});
+  if (f & kSortedBuilt) {
+    return NeighborhoodView(nullptr, {sorted_[v].data(), sorted_[v].size()});
+  }
+  // Neither exists: pick by degree (paper: hash when degree > 16).
+  if (original_degree(v) > kHashDegreeThreshold) {
+    return NeighborhoodView(&hashed_neighborhood(v), {});
+  }
+  auto s = sorted_neighborhood(v);
+  return NeighborhoodView(nullptr, s);
+}
+
+void LazyGraph::prepopulate(Prepopulate policy, VertexId must_threshold) {
+  if (policy == Prepopulate::kNone) return;
+  parallel_for(0, n_, [&](std::size_t i) {
+    VertexId v = static_cast<VertexId>(i);
+    if (policy == Prepopulate::kAll || coreness_new_[v] >= must_threshold) {
+      hashed_neighborhood(v);
+    }
+  }, 64);
+}
+
+LazyGraph::Stats LazyGraph::stats() const {
+  return Stats{stat_hash_built_.load(std::memory_order_relaxed),
+               stat_sorted_built_.load(std::memory_order_relaxed),
+               stat_kept_.load(std::memory_order_relaxed),
+               stat_filtered_.load(std::memory_order_relaxed)};
+}
+
+}  // namespace lazymc

@@ -1,0 +1,153 @@
+// The lazy filtered hashed relabelled graph (paper Section IV-A,
+// Algorithm 2).
+//
+// Design goals, quoting the paper:
+//  * Relabelling: remap neighbor ids into the (coreness, degree) order
+//    only when a neighborhood is first needed, memoizing the result.
+//  * Lazy construction: never build neighborhoods for vertices the search
+//    skips (most of the graph — Section III-A).
+//  * Filtering: drop neighbors whose coreness is below the incumbent
+//    clique size *at construction time*.  The zone of interest only
+//    shrinks, so anything filtered now is irrelevant forever.
+//  * Hashed sets: hopscotch sets enable O(|A|) intersections.
+//
+// Both a hash-set and a sorted-array representation may exist per vertex;
+// they may have been filtered against different incumbent sizes.  That is
+// deliberate and safe: discrepancies involve only vertices that can no
+// longer affect the search (Section IV-A).
+//
+// Thread-safety: any number of threads may call the accessors
+// concurrently; construction is serialized per-vertex with double-checked
+// locking (flag read with acquire, publish with release).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "hashset/hopscotch_set.hpp"
+#include "kcore/order.hpp"
+#include "support/spinlock.hpp"
+
+namespace lazymc {
+
+/// Prepopulation policy for the Fig. 4 ablation.
+enum class Prepopulate {
+  kNone,          // fully lazy
+  kMustSubgraph,  // default: prebuild hash sets for coreness >= threshold
+  kAll,           // eager: prebuild every vertex's hash set
+};
+
+/// A membership view over whichever representation a vertex has.  Satisfies
+/// the MembershipSet concept used by the intersection kernels.
+class NeighborhoodView {
+ public:
+  NeighborhoodView(const HopscotchSet* hash, std::span<const VertexId> sorted)
+      : hash_(hash), sorted_(sorted) {}
+
+  bool contains(VertexId v) const;
+  std::size_t size() const {
+    return hash_ ? hash_->size() : sorted_.size();
+  }
+  bool is_hashed() const { return hash_ != nullptr; }
+
+ private:
+  const HopscotchSet* hash_;  // preferred when present
+  std::span<const VertexId> sorted_;
+};
+
+class LazyGraph {
+ public:
+  /// Degree above which the "either representation" accessor builds a hash
+  /// set rather than a sorted array (paper Section IV-A: "degree over 16").
+  static constexpr VertexId kHashDegreeThreshold = 16;
+
+  /// `incumbent_size` is read (relaxed) every time a neighborhood is
+  /// constructed; it must outlive the LazyGraph and only ever increase.
+  LazyGraph(const Graph& g, const kcore::VertexOrder& order,
+            const std::vector<VertexId>& coreness_orig,
+            const std::atomic<VertexId>* incumbent_size);
+
+  VertexId num_vertices() const { return n_; }
+
+  /// Coreness of relabelled vertex v.
+  VertexId coreness(VertexId v) const { return coreness_new_[v]; }
+
+  /// Degree of relabelled vertex v in the *original* (unfiltered) graph.
+  VertexId original_degree(VertexId v) const {
+    return base_->degree(order_->new_to_orig[v]);
+  }
+
+  const kcore::VertexOrder& order() const { return *order_; }
+  const Graph& base_graph() const { return *base_; }
+
+  /// GetHashedNeighborhood (Algorithm 2): builds on first use.
+  const HopscotchSet& hashed_neighborhood(VertexId v);
+
+  /// Sorted filtered relabelled neighborhood; builds on first use.
+  std::span<const VertexId> sorted_neighborhood(VertexId v);
+
+  /// Right-neighborhood N+(v) = {u in N(v) filtered : u > v}, a suffix of
+  /// the sorted representation.
+  std::span<const VertexId> right_neighborhood(VertexId v);
+
+  /// "Either representation" accessor: returns whatever exists, preferring
+  /// the hash set; if neither exists, builds a hash set for high-degree
+  /// vertices and a sorted array otherwise.
+  NeighborhoodView membership(VertexId v);
+
+  /// True when the respective representation has been constructed.
+  bool has_hashed(VertexId v) const {
+    return flags_[v].load(std::memory_order_acquire) & kHashBuilt;
+  }
+  bool has_sorted(VertexId v) const {
+    return flags_[v].load(std::memory_order_acquire) & kSortedBuilt;
+  }
+
+  /// Prebuilds hash neighborhoods according to `policy`; the must-subgraph
+  /// policy builds vertices with coreness >= threshold (paper Section V-C:
+  /// the must subgraph w.r.t. the incumbent found by degree-based
+  /// heuristic search).  Runs in parallel.
+  void prepopulate(Prepopulate policy, VertexId must_threshold);
+
+  /// Instrumentation.
+  struct Stats {
+    std::size_t hash_built = 0;
+    std::size_t sorted_built = 0;
+    std::size_t neighbors_kept = 0;
+    std::size_t neighbors_filtered = 0;
+  };
+  Stats stats() const;
+
+ private:
+  static constexpr std::uint8_t kHashBuilt = 1;
+  static constexpr std::uint8_t kSortedBuilt = 2;
+
+  /// Builds the filtered relabelled neighbor list of v (unsorted).
+  std::vector<VertexId> filtered_neighbors(VertexId v) const;
+
+  void build_hash(VertexId v);
+  void build_sorted(VertexId v);
+
+  const Graph* base_;
+  const kcore::VertexOrder* order_;
+  const std::atomic<VertexId>* incumbent_size_;
+  VertexId n_;
+  std::vector<VertexId> coreness_new_;  // indexed by relabelled id
+
+  std::vector<std::atomic<std::uint8_t>> flags_;
+  std::unique_ptr<SpinLock[]> locks_;
+  std::vector<HopscotchSet> hash_;
+  std::vector<std::vector<VertexId>> sorted_;
+  std::vector<std::uint32_t> right_begin_;  // index into sorted_[v] where u > v
+
+  // stats counters (relaxed)
+  mutable std::atomic<std::size_t> stat_hash_built_{0};
+  mutable std::atomic<std::size_t> stat_sorted_built_{0};
+  mutable std::atomic<std::size_t> stat_kept_{0};
+  mutable std::atomic<std::size_t> stat_filtered_{0};
+};
+
+}  // namespace lazymc

@@ -1,0 +1,85 @@
+#include "mc/bb_solver.hpp"
+
+#include <algorithm>
+
+#include "mc/greedy_color.hpp"
+
+namespace lazymc::mc {
+namespace {
+
+class Searcher {
+ public:
+  Searcher(const DenseSubgraph& g, const BBOptions& opt)
+      : g_(g), opt_(opt), best_size_(opt.lower_bound) {}
+
+  BBResult run() {
+    const std::size_t n = g_.size();
+    DynamicBitset p(n);
+    for (std::size_t v = 0; v < n; ++v) p.set(v);
+    current_.clear();
+    expand(p);
+    BBResult out;
+    out.clique = std::move(best_clique_);
+    out.nodes = nodes_;
+    out.timed_out = timed_out_;
+    return out;
+  }
+
+ private:
+  VertexId bound() const {
+    VertexId b = best_size_;
+    if (opt_.live_bound) {
+      b = std::max(b, opt_.live_bound->load(std::memory_order_relaxed));
+    }
+    return b;
+  }
+
+  void expand(const DynamicBitset& p) {
+    ++nodes_;
+    if (opt_.control && opt_.control->should_stop(stop_counter_)) {
+      timed_out_ = true;
+      return;
+    }
+    if (!p.any()) {
+      if (current_.size() > best_size_) {
+        best_size_ = static_cast<VertexId>(current_.size());
+        best_clique_ = current_;
+      }
+      return;
+    }
+    Coloring coloring = greedy_color(g_, p);
+    DynamicBitset rest = p;
+    // Expand in reverse color order: highest-colored vertices first.
+    for (std::size_t idx = coloring.order.size(); idx-- > 0;) {
+      if (timed_out_) return;
+      VertexId v = coloring.order[idx];
+      // Prune: every remaining candidate has color <= coloring.color[idx],
+      // so no clique through them can beat the bound.
+      if (current_.size() + coloring.color[idx] <= bound()) return;
+      current_.push_back(v);
+      DynamicBitset next(p.size());
+      next.assign_and(rest, g_.adj[v]);
+      expand(next);
+      current_.pop_back();
+      rest.reset(v);
+    }
+  }
+
+  const DenseSubgraph& g_;
+  const BBOptions& opt_;
+  VertexId best_size_;
+  std::vector<VertexId> best_clique_;
+  std::vector<VertexId> current_;
+  std::uint64_t nodes_ = 0;
+  std::uint64_t stop_counter_ = 0;
+  bool timed_out_ = false;
+};
+
+}  // namespace
+
+BBResult solve_mc_dense(const DenseSubgraph& g, const BBOptions& options) {
+  Searcher searcher(g, options);
+  return searcher.run();
+}
+
+}  // namespace lazymc::mc

@@ -1,0 +1,41 @@
+// Branch-and-bound maximum clique search on a dense induced subgraph.
+//
+// Derived from Bron–Kerbosch with Tomita's pivoting/coloring discipline
+// (paper Section IV-E): candidates are greedily colored at each node and
+// expanded in reverse color order, pruning when |R| + color <= best.
+// The solver reads an optional external incumbent size so concurrently
+// discovered cliques shrink this search too.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "graph/subgraph.hpp"
+#include "support/control.hpp"
+
+namespace lazymc::mc {
+
+struct BBResult {
+  /// Largest clique found with size > lower_bound, in *local* subgraph
+  /// ids; empty when none exceeds the bound.
+  std::vector<VertexId> clique;
+  /// Search-tree nodes expanded (work metric for Figs. 6/7).
+  std::uint64_t nodes = 0;
+  bool timed_out = false;
+};
+
+struct BBOptions {
+  /// Only cliques strictly larger than this are of interest.
+  VertexId lower_bound = 0;
+  /// Optional live incumbent size; when set, it is re-read during the
+  /// search and tightens the bound (monotone, relaxed reads).
+  const std::atomic<VertexId>* live_bound = nullptr;
+  /// Cooperative timeout; may be null.
+  const SolveControl* control = nullptr;
+};
+
+/// Exact maximum clique of `g` subject to the options above.
+BBResult solve_mc_dense(const DenseSubgraph& g, const BBOptions& options);
+
+}  // namespace lazymc::mc

@@ -1,0 +1,46 @@
+#include "mc/greedy_color.hpp"
+
+namespace lazymc::mc {
+
+Coloring greedy_color(const DenseSubgraph& g, const DynamicBitset& p) {
+  Coloring out;
+  DynamicBitset uncolored = p;
+  DynamicBitset candidates(p.size());
+  VertexId color = 0;
+  std::size_t total = p.count();
+  out.order.reserve(total);
+  out.color.reserve(total);
+  while (uncolored.any()) {
+    ++color;
+    // Build one independent set greedily: take the lowest uncolored vertex,
+    // remove its neighbors from the class candidates, repeat.
+    candidates = uncolored;
+    for (std::size_t v = candidates.find_first(); v < candidates.size();
+         v = candidates.find_next(v)) {
+      out.order.push_back(static_cast<VertexId>(v));
+      out.color.push_back(color);
+      uncolored.reset(v);
+      candidates.and_not_with(g.adj[v]);
+    }
+  }
+  out.num_colors = color;
+  return out;
+}
+
+VertexId greedy_color_count(const DenseSubgraph& g, const DynamicBitset& p) {
+  DynamicBitset uncolored = p;
+  DynamicBitset candidates(p.size());
+  VertexId color = 0;
+  while (uncolored.any()) {
+    ++color;
+    candidates = uncolored;
+    for (std::size_t v = candidates.find_first(); v < candidates.size();
+         v = candidates.find_next(v)) {
+      uncolored.reset(v);
+      candidates.and_not_with(g.adj[v]);
+    }
+  }
+  return color;
+}
+
+}  // namespace lazymc::mc

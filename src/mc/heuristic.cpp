@@ -1,0 +1,127 @@
+#include "mc/heuristic.hpp"
+
+#include <algorithm>
+
+#include "support/parallel.hpp"
+
+namespace lazymc::mc {
+
+void degree_based_heuristic(const Graph& g, Incumbent& incumbent,
+                            const HeuristicOptions& options) {
+  const VertexId n = g.num_vertices();
+  if (n == 0) return;
+
+  // Top-K vertices by degree via partial sort of ids.
+  VertexId k = std::min<VertexId>(options.top_k, n);
+  std::vector<VertexId> seeds(n);
+  for (VertexId v = 0; v < n; ++v) seeds[v] = v;
+  std::partial_sort(seeds.begin(), seeds.begin() + k, seeds.end(),
+                    [&](VertexId a, VertexId b) {
+                      return g.degree(a) > g.degree(b);
+                    });
+  seeds.resize(k);
+
+  parallel_for(0, seeds.size(), [&](std::size_t i) {
+    std::uint64_t stop_counter = 0;
+    if (options.control && options.control->should_stop(stop_counter)) return;
+    VertexId v = seeds[i];
+    // N = neighbors with enough degree to matter given |C*|.
+    VertexId bound = incumbent.size();
+    std::vector<VertexId> candidates;
+    candidates.reserve(g.degree(v));
+    for (VertexId u : g.neighbors(v)) {
+      if (g.degree(u) >= bound) candidates.push_back(u);
+    }
+    std::vector<VertexId> clique{v};
+    std::vector<VertexId> next(candidates.size());
+
+    while (!candidates.empty()) {
+      // Greedy step: candidate with the largest degree inside the
+      // candidate set, found with early-exit intersections keyed to the
+      // running maximum (Algorithm 5 lines 7-8).
+      std::int64_t best_deg = -1;
+      VertexId best = kInvalidVertex;
+      std::span<const VertexId> cand_span(candidates);
+      for (VertexId w : candidates) {
+        SortedLookup w_nbrs(g.neighbors(w));
+        int d = options.intersect.size_gt_val(cand_span, w_nbrs, best_deg);
+        if (d != kTooSmall && d > best_deg) {
+          best_deg = d;
+          best = w;
+        }
+      }
+      if (best == kInvalidVertex) {
+        // All remaining candidates are mutually non-adjacent; take one.
+        best = candidates.front();
+      }
+      clique.push_back(best);
+      // candidates = candidates ∩ N(best), exactly.
+      SortedLookup best_nbrs(g.neighbors(best));
+      std::size_t kept = intersect_hash(cand_span, best_nbrs, next.data());
+      candidates.assign(next.begin(), next.begin() + kept);
+    }
+    incumbent.offer(clique);
+  }, 1);
+}
+
+void coreness_based_heuristic(LazyGraph& h, Incumbent& incumbent,
+                              const HeuristicOptions& options) {
+  const VertexId n = h.num_vertices();
+  if (n == 0) return;
+
+  // Vertices are sorted by ascending coreness, so the first vertex of each
+  // coreness level is found by scanning level boundaries once.
+  std::vector<VertexId> level_first;  // seed vertex per distinct level
+  {
+    VertexId prev = kInvalidVertex;
+    for (VertexId v = 0; v < n; ++v) {
+      VertexId c = h.coreness(v);
+      if (c != prev) {
+        level_first.push_back(v);
+        prev = c;
+      }
+    }
+  }
+  // Process high coreness levels first (they host the large cliques).
+  std::reverse(level_first.begin(), level_first.end());
+
+  const auto& order = h.order();
+  parallel_for(0, level_first.size(), [&](std::size_t i) {
+    std::uint64_t stop_counter = 0;
+    if (options.control && options.control->should_stop(stop_counter)) return;
+    VertexId v = level_first[i];
+    auto right = h.right_neighborhood(v);
+    std::vector<VertexId> candidates(right.begin(), right.end());
+    std::vector<VertexId> clique{v};
+    std::vector<VertexId> next(candidates.size());
+
+    while (!candidates.empty()) {
+      // Highest-numbered candidate has the highest coreness (Algorithm 6
+      // line 7); candidate lists are sorted ascending.
+      VertexId u = candidates.back();
+      clique.push_back(u);
+      candidates.pop_back();
+      if (candidates.empty()) break;
+      // N ← N ∩ N(u) via intersect-gt, θ = |C*| - |C| (Algorithm 6
+      // line 8): if the result cannot keep C competitive, abandon.
+      std::int64_t theta =
+          static_cast<std::int64_t>(incumbent.size()) -
+          static_cast<std::int64_t>(clique.size());
+      NeighborhoodView u_nbrs = h.membership(u);
+      int kept = options.intersect.gt(std::span<const VertexId>(candidates),
+                                      u_nbrs, next.data(), theta);
+      if (kept == kTooSmall) {
+        candidates.clear();
+        break;
+      }
+      candidates.assign(next.begin(), next.begin() + kept);
+    }
+    // Convert relabelled ids to original before publishing.
+    std::vector<VertexId> orig;
+    orig.reserve(clique.size());
+    for (VertexId u : clique) orig.push_back(order.new_to_orig[u]);
+    incumbent.offer(orig);
+  }, 1);
+}
+
+}  // namespace lazymc::mc

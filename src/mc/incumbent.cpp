@@ -1,0 +1,3 @@
+// Incumbent is header-only; this TU exists to give the target a home for
+// the symbol when debuggers ask and keeps the build layout uniform.
+#include "mc/incumbent.hpp"

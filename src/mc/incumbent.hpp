@@ -1,0 +1,53 @@
+// The incumbent clique C* — the largest clique observed so far.
+//
+// Shared by all threads; reads of the size are a single relaxed atomic
+// load (safe because the incumbent only grows — a stale value merely
+// prunes less), while updates take a spinlock to swap in the new vertex
+// set atomically with the size.
+#pragma once
+
+#include <atomic>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/spinlock.hpp"
+
+namespace lazymc {
+
+class Incumbent {
+ public:
+  Incumbent() = default;
+
+  /// Current size |C*| (relaxed; monotone non-decreasing).
+  VertexId size() const { return size_.load(std::memory_order_relaxed); }
+
+  /// The atomic holding |C*|, for components that re-read it on hot paths
+  /// (e.g. LazyGraph's construction-time filtering).
+  const std::atomic<VertexId>& size_atomic() const { return size_; }
+
+  /// Installs `clique` as the new incumbent if it is strictly larger than
+  /// the current one.  Returns true on improvement.  Thread-safe.
+  bool offer(std::span<const VertexId> clique) {
+    VertexId sz = static_cast<VertexId>(clique.size());
+    if (sz <= size()) return false;  // fast reject without the lock
+    SpinLockGuard guard(lock_);
+    if (sz <= size_.load(std::memory_order_relaxed)) return false;
+    clique_.assign(clique.begin(), clique.end());
+    size_.store(sz, std::memory_order_release);
+    return true;
+  }
+
+  /// Copy of the incumbent vertex set.
+  std::vector<VertexId> snapshot() const {
+    SpinLockGuard guard(lock_);
+    return clique_;
+  }
+
+ private:
+  std::atomic<VertexId> size_{0};
+  mutable SpinLock lock_;
+  std::vector<VertexId> clique_;
+};
+
+}  // namespace lazymc

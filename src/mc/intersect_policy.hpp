@@ -1,0 +1,48 @@
+// Runtime toggle for the early-exit intersections (Fig. 5 ablation).
+//
+// "no early exits" runs every intersection to completion and compares
+// afterwards; "no second exit" keeps the failure exit of
+// intersect-size-gt-bool but drops its success exit.  The default enables
+// everything (the paper's configuration).
+#pragma once
+
+#include <span>
+
+#include "intersect/intersect.hpp"
+
+namespace lazymc::mc {
+
+struct IntersectPolicy {
+  bool early_exits = true;
+  bool second_exit = true;
+
+  /// intersect-gt under the policy: result set when size > theta.
+  template <MembershipSet SetB>
+  int gt(std::span<const VertexId> a, const SetB& b, VertexId* out,
+         std::int64_t theta) const {
+    if (early_exits) return intersect_gt(a, b, out, theta);
+    int n = static_cast<int>(intersect_hash(a, b, out));
+    return n > theta ? n : kTooSmall;
+  }
+
+  /// intersect-size-gt-val under the policy.
+  template <MembershipSet SetB>
+  int size_gt_val(std::span<const VertexId> a, const SetB& b,
+                  std::int64_t theta) const {
+    if (early_exits) return intersect_size_gt_val(a, b, theta);
+    int n = static_cast<int>(intersect_size(a, b));
+    return n > theta ? n : kTooSmall;
+  }
+
+  /// intersect-size-gt-bool under the policy.
+  template <MembershipSet SetB>
+  bool size_gt_bool(std::span<const VertexId> a, const SetB& b,
+                    std::int64_t theta) const {
+    if (!early_exits) {
+      return static_cast<std::int64_t>(intersect_size(a, b)) > theta;
+    }
+    return intersect_size_gt_bool(a, b, theta, second_exit);
+  }
+};
+
+}  // namespace lazymc::mc

@@ -1,0 +1,99 @@
+#include "mc/lazymc.hpp"
+
+#include <algorithm>
+
+#include "kcore/kcore.hpp"
+#include "kcore/order.hpp"
+#include "mc/heuristic.hpp"
+#include "mc/incumbent.hpp"
+#include "support/timer.hpp"
+
+namespace lazymc::mc {
+
+LazyMCResult lazy_mc(const Graph& g, const LazyMCConfig& config) {
+  LazyMCResult result;
+  if (g.num_vertices() == 0) return result;
+
+  SolveControl control(config.time_limit_seconds);
+  IntersectPolicy policy{config.early_exit_intersections, config.second_exit};
+  Incumbent incumbent;
+  WallTimer timer;
+
+  // ---- 1. degree-based heuristic search (Algorithm 1 line 3) -----------
+  {
+    HeuristicOptions h;
+    h.top_k = config.heuristic_top_k;
+    h.intersect = policy;
+    h.control = &control;
+    degree_based_heuristic(g, incumbent, h);
+  }
+  result.heuristic_degree_omega = incumbent.size();
+  result.phases.degree_heuristic = timer.lap();
+
+  // ---- 2-3. k-core bounded by |C*|, then (coreness, degree) order ------
+  kcore::CoreDecomposition core;
+  kcore::VertexOrder order;
+  if (config.vertex_order == VertexOrderKind::kPeeling) {
+    // Sequential full decomposition: yields the Matula–Beck peeling
+    // order directly (the order MC-BRB and friends get "for free").
+    core = kcore::coreness(g);
+    order = kcore::order_from_peel(g, core.peel_order);
+  } else {
+    core = kcore::coreness_lower_bounded(g, incumbent.size());
+    order = kcore::order_by_coreness_degree_parallel(g, core.coreness);
+  }
+  result.degeneracy = core.degeneracy;
+  result.phases.preprocessing = timer.lap();
+
+  // ---- 4. lazy graph + optional must-subgraph prepopulation ------------
+  LazyGraph lazy(g, order, core.coreness, &incumbent.size_atomic());
+  lazy.prepopulate(config.prepopulate, /*must_threshold=*/incumbent.size());
+  result.phases.must_subgraph = timer.lap();
+
+  // ---- 5. coreness-based heuristic search ------------------------------
+  {
+    HeuristicOptions h;
+    h.top_k = config.heuristic_top_k;
+    h.intersect = policy;
+    h.control = &control;
+    coreness_based_heuristic(lazy, incumbent, h);
+  }
+  result.heuristic_coreness_omega = incumbent.size();
+  result.phases.coreness_heuristic = timer.lap();
+
+  // ---- 6. systematic search --------------------------------------------
+  SearchStats stats;
+  {
+    NeighborSearchOptions n;
+    n.density_threshold = config.density_threshold;
+    n.degree_filter_rounds = config.degree_filter_rounds;
+    n.color_prune = config.color_prune;
+    n.vc_node_budget_per_vertex = config.vc_node_budget_per_vertex;
+    n.intersect = policy;
+    n.control = &control;
+    systematic_search(lazy, incumbent, n, stats);
+  }
+  result.phases.systematic = timer.lap();
+
+  result.clique = incumbent.snapshot();
+  std::sort(result.clique.begin(), result.clique.end());
+  result.omega = static_cast<VertexId>(result.clique.size());
+  result.timed_out = control.cancelled();
+
+  result.search.evaluated = stats.evaluated.load();
+  result.search.pass_filter1 = stats.pass_filter1.load();
+  result.search.pass_filter2 = stats.pass_filter2.load();
+  result.search.pass_filter3 = stats.pass_filter3.load();
+  result.search.solved_mc = stats.solved_mc.load();
+  result.search.solved_vc = stats.solved_vc.load();
+  result.search.vc_fallbacks = stats.vc_fallbacks.load();
+  result.search.filter_seconds = stats.filter_seconds();
+  result.search.mc_seconds = stats.mc_seconds();
+  result.search.vc_seconds = stats.vc_seconds();
+  result.search.mc_nodes = stats.mc_nodes.load();
+  result.search.vc_nodes = stats.vc_nodes.load();
+  result.lazy_graph = lazy.stats();
+  return result;
+}
+
+}  // namespace lazymc::mc

@@ -1,0 +1,122 @@
+// LazyMC — the paper's maximum clique algorithm (Algorithm 1).
+//
+//   1. degree-based heuristic search on the raw graph;
+//   2. coreness restricted to vertices with degree >= |C*| (KCore(G,|C*|));
+//   3. (coreness, degree) vertex order via counting sorts;
+//   4. lazy filtered hashed relabelled graph, optionally prepopulating the
+//      must subgraph;
+//   5. coreness-based heuristic search on the lazy graph;
+//   6. systematic search with advance filtering and algorithmic choice.
+//
+// The result carries the full instrumentation needed to regenerate the
+// paper's Figures 2-7 and Table III.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "lazygraph/lazy_graph.hpp"
+#include "mc/neighbor_search.hpp"
+
+namespace lazymc::mc {
+
+/// Vertex-order strategy (Section IV-F).
+enum class VertexOrderKind {
+  /// (coreness asc, degree asc) via parallel counting sorts — LazyMC's
+  /// order; works with the parallel k-core computation.
+  kCorenessDegree,
+  /// Matula–Beck peeling order from the *sequential* k-core computation.
+  /// Guarantees right-neighborhoods <= coreness but serializes
+  /// preprocessing (the paper notes all peeling-order MC algorithms are
+  /// sequential).
+  kPeeling,
+};
+
+struct LazyMCConfig {
+  /// Seeds for the degree-based heuristic search.
+  VertexId heuristic_top_k = 16;
+  /// Vertex-order strategy.
+  VertexOrderKind vertex_order = VertexOrderKind::kCorenessDegree;
+  /// When true, greedily color each surviving subgraph before dispatching
+  /// a solver: chi(G[N]) bounds any clique in it, so chi <= |C*| - 1
+  /// proves the neighborhood irrelevant without a search.  Off by default
+  /// (the paper applies coloring inside the MC solver only).
+  bool color_prune = false;
+  /// Density threshold φ for algorithmic choice; see
+  /// NeighborSearchOptions::density_threshold (swept by bench_fig6).
+  double density_threshold = 0.60;
+  /// Rounds of induced-degree filtering before a detailed search (paper
+  /// default: 2); see NeighborSearchOptions::degree_filter_rounds.
+  unsigned degree_filter_rounds = 2;
+  /// k-VC misprediction budget; see
+  /// NeighborSearchOptions::vc_node_budget_per_vertex (0 disables).
+  std::uint64_t vc_node_budget_per_vertex = 2000;
+  /// Prepopulation policy for the lazy graph (Fig. 4 ablation).
+  Prepopulate prepopulate = Prepopulate::kMustSubgraph;
+  /// Early-exit intersection toggles (Fig. 5 ablation).
+  bool early_exit_intersections = true;
+  bool second_exit = true;
+  /// Wall-clock limit in seconds (Table II uses 1800 in the paper).
+  double time_limit_seconds = std::numeric_limits<double>::infinity();
+};
+
+/// Per-phase wall-clock seconds (Fig. 2 / Fig. 7 stacks).
+struct PhaseTimes {
+  double degree_heuristic = 0;
+  double preprocessing = 0;   // k-core + ordering
+  double must_subgraph = 0;   // prepopulation of the lazy graph
+  double coreness_heuristic = 0;
+  double systematic = 0;
+
+  double total() const {
+    return degree_heuristic + preprocessing + must_subgraph +
+           coreness_heuristic + systematic;
+  }
+};
+
+/// Plain-value copy of SearchStats (which is atomic and non-copyable).
+struct SearchStatsSnapshot {
+  std::uint64_t evaluated = 0;
+  std::uint64_t pass_filter1 = 0;
+  std::uint64_t pass_filter2 = 0;
+  std::uint64_t pass_filter3 = 0;
+  std::uint64_t solved_mc = 0;
+  std::uint64_t solved_vc = 0;
+  std::uint64_t vc_fallbacks = 0;
+  double filter_seconds = 0;
+  double mc_seconds = 0;
+  double vc_seconds = 0;
+  std::uint64_t mc_nodes = 0;
+  std::uint64_t vc_nodes = 0;
+
+  double work_seconds() const {
+    return filter_seconds + mc_seconds + vc_seconds;
+  }
+};
+
+struct LazyMCResult {
+  /// A maximum clique in original vertex ids (empty for the empty graph).
+  std::vector<VertexId> clique;
+  /// omega(G) == clique.size() unless timed_out.
+  VertexId omega = 0;
+  /// Incumbent size after the degree-based heuristic (Table I's ωd).
+  VertexId heuristic_degree_omega = 0;
+  /// Incumbent size after the coreness-based heuristic (Table I's ωh).
+  VertexId heuristic_coreness_omega = 0;
+  /// Graph degeneracy (of the lower-bounded core decomposition).
+  VertexId degeneracy = 0;
+  bool timed_out = false;
+
+  PhaseTimes phases;
+  SearchStatsSnapshot search;
+  LazyGraph::Stats lazy_graph;
+};
+
+/// Runs LazyMC on g.  Thread count comes from the global pool
+/// (lazymc::set_num_threads).
+LazyMCResult lazy_mc(const Graph& g, const LazyMCConfig& config = {});
+
+}  // namespace lazymc::mc

@@ -1,0 +1,258 @@
+#include "mc/neighbor_search.hpp"
+
+#include <algorithm>
+
+#include "graph/subgraph.hpp"
+#include "mc/greedy_color.hpp"
+#include "support/parallel.hpp"
+#include "support/timer.hpp"
+#include "vc/mc_via_vc.hpp"
+
+namespace lazymc::mc {
+namespace {
+
+std::uint64_t to_ns(double seconds) {
+  return static_cast<std::uint64_t>(seconds * 1e9);
+}
+
+/// Extracts the dense subgraph induced by `members` (relabelled ids) using
+/// the lazy graph's membership structures rather than the base CSR: this
+/// honours construction-time filtering and builds hash sets only for the
+/// few vertices that reach a detailed search.
+DenseSubgraph induce_from_lazy(LazyGraph& h,
+                               const std::vector<VertexId>& members) {
+  DenseSubgraph s;
+  s.vertices = members;
+  const std::size_t n = members.size();
+  s.adj.assign(n, DynamicBitset(n));
+  EdgeId m = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    NeighborhoodView view = h.membership(members[i]);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (view.contains(members[j])) {
+        s.adj[i].set(j);
+        s.adj[j].set(i);
+        ++m;
+      }
+    }
+  }
+  s.num_edges = m;
+  return s;
+}
+
+}  // namespace
+
+void neighbor_search(LazyGraph& h, VertexId v, Incumbent& incumbent,
+                     const NeighborSearchOptions& options,
+                     SearchStats& stats) {
+  WallTimer timer;
+  stats.evaluated.fetch_add(1, std::memory_order_relaxed);
+
+  const auto& order = h.order();
+  auto publish = [&](const std::vector<VertexId>& relabelled_clique) {
+    std::vector<VertexId> orig;
+    orig.reserve(relabelled_clique.size());
+    for (VertexId u : relabelled_clique) orig.push_back(order.new_to_orig[u]);
+    incumbent.offer(orig);
+  };
+
+  // ---- filter 1: coreness (Algorithm 8 line 2) -------------------------
+  VertexId bound = incumbent.size();
+  std::vector<VertexId> n_set;
+  {
+    auto right = h.right_neighborhood(v);
+    n_set.reserve(right.size());
+    for (VertexId u : right) {
+      if (h.coreness(u) >= bound) n_set.push_back(u);
+    }
+  }
+  if (n_set.size() < bound) {
+    stats.filter_ns.fetch_add(to_ns(timer.elapsed()),
+                              std::memory_order_relaxed);
+    return;
+  }
+  stats.pass_filter1.fetch_add(1, std::memory_order_relaxed);
+
+  // ---- filter 2: induced degree, boolean test (lines 4-7) --------------
+  {
+    std::vector<VertexId> kept;
+    kept.reserve(n_set.size());
+    std::span<const VertexId> n_span(n_set);
+    std::int64_t theta = static_cast<std::int64_t>(bound) - 2;
+    for (VertexId u : n_set) {
+      NeighborhoodView u_nbrs = h.membership(u);
+      if (options.intersect.size_gt_bool(n_span, u_nbrs, theta)) {
+        kept.push_back(u);
+      }
+    }
+    n_set = std::move(kept);
+  }
+  if (n_set.size() < bound) {
+    stats.filter_ns.fetch_add(to_ns(timer.elapsed()),
+                              std::memory_order_relaxed);
+    return;
+  }
+  stats.pass_filter2.fetch_add(1, std::memory_order_relaxed);
+
+  // ---- filter 3: induced degree, exact sizes + edge estimate (8-13) ----
+  // Repeated up to degree_filter_rounds-1 times (the boolean pass above
+  // was round 1): removing a vertex lowers the others' induced degrees,
+  // so later rounds can remove more.  Stops at a fixpoint.
+  double m_hat = 0;
+  const unsigned extra_rounds =
+      options.degree_filter_rounds > 1 ? options.degree_filter_rounds - 1 : 1;
+  for (unsigned round = 0; round < extra_rounds; ++round) {
+    m_hat = 0;
+    std::vector<VertexId> kept;
+    kept.reserve(n_set.size());
+    std::span<const VertexId> n_span(n_set);
+    std::int64_t theta = static_cast<std::int64_t>(bound) - 2;
+    for (VertexId u : n_set) {
+      NeighborhoodView u_nbrs = h.membership(u);
+      int d = options.intersect.size_gt_val(n_span, u_nbrs, theta);
+      if (d != kTooSmall) {
+        kept.push_back(u);
+        m_hat += d;
+      }
+    }
+    bool fixpoint = kept.size() == n_set.size();
+    n_set = std::move(kept);
+    if (n_set.size() < bound) {
+      stats.filter_ns.fetch_add(to_ns(timer.elapsed()),
+                                std::memory_order_relaxed);
+      return;
+    }
+    if (fixpoint) break;
+  }
+  stats.pass_filter3.fetch_add(1, std::memory_order_relaxed);
+
+  // ---- algorithmic choice (lines 14-17) ---------------------------------
+  // m_hat/(n(n-1)) is the paper's pre-extraction estimate; since the dense
+  // subgraph is materialized for either solver anyway, the exact density is
+  // available at no extra cost and keeps the phi scale meaningful ([0,1]).
+  (void)m_hat;
+  DenseSubgraph sub = induce_from_lazy(h, n_set);
+  const double density = sub.density();
+  stats.filter_ns.fetch_add(to_ns(timer.lap()), std::memory_order_relaxed);
+
+  // A clique K in G[N] with |K| > |C*| - 1 yields {v} ∪ K with size > |C*|.
+  const VertexId sub_bound = bound > 0 ? bound - 1 : 0;
+
+  if (options.color_prune && sub.size() > 0) {
+    // chi(G[N]) bounds any clique inside G[N]; chi <= sub_bound means no
+    // improving clique passes through v.
+    WallTimer color_timer;
+    DynamicBitset all(sub.size());
+    for (std::size_t i = 0; i < sub.size(); ++i) all.set(i);
+    VertexId chi = greedy_color_count(sub, all);
+    stats.filter_ns.fetch_add(to_ns(color_timer.elapsed()),
+                              std::memory_order_relaxed);
+    if (chi <= sub_bound) return;
+  }
+
+  bool solved = false;
+  if (density > options.density_threshold) {
+    std::uint64_t budget =
+        options.vc_node_budget_per_vertex == 0
+            ? 0
+            : options.vc_node_budget_per_vertex * (sub.size() + 1);
+    vc::McViaVcResult r =
+        vc::max_clique_via_vc(sub, sub_bound, options.control, budget);
+    stats.vc_ns.fetch_add(to_ns(timer.lap()), std::memory_order_relaxed);
+    stats.vc_nodes.fetch_add(r.nodes, std::memory_order_relaxed);
+    if (r.budget_exhausted) {
+      // Misprediction: fall through to the MC solver below.
+      stats.vc_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      solved = true;
+      stats.solved_vc.fetch_add(1, std::memory_order_relaxed);
+      if (!r.clique.empty()) {
+        std::vector<VertexId> clique{v};
+        for (VertexId local : r.clique) clique.push_back(sub.vertices[local]);
+        publish(clique);
+      }
+    }
+  }
+  if (!solved) {
+    BBOptions bb;
+    bb.lower_bound = sub_bound;
+    bb.control = options.control;
+    BBResult r = solve_mc_dense(sub, bb);
+    stats.mc_ns.fetch_add(to_ns(timer.lap()), std::memory_order_relaxed);
+    stats.mc_nodes.fetch_add(r.nodes, std::memory_order_relaxed);
+    stats.solved_mc.fetch_add(1, std::memory_order_relaxed);
+    if (!r.clique.empty()) {
+      std::vector<VertexId> clique{v};
+      for (VertexId local : r.clique) clique.push_back(sub.vertices[local]);
+      publish(clique);
+    }
+  }
+}
+
+void systematic_search(LazyGraph& h, Incumbent& incumbent,
+                       const NeighborSearchOptions& options,
+                       SearchStats& stats) {
+  const VertexId n = h.num_vertices();
+  if (n == 0) return;
+
+  // Level boundaries: vertices are sorted by ascending coreness, so each
+  // coreness level is a contiguous range of relabelled ids.
+  VertexId degeneracy = 0;
+  for (VertexId v = 0; v < n; ++v) degeneracy = std::max(degeneracy, h.coreness(v));
+  std::vector<VertexId> level_start(static_cast<std::size_t>(degeneracy) + 2,
+                                    kInvalidVertex);
+  for (VertexId v = n; v-- > 0;) level_start[h.coreness(v)] = v;
+  // Fill gaps: empty levels point at the next non-empty one.
+  VertexId next_start = n;
+  std::vector<VertexId> level_begin(degeneracy + 2, n);
+  for (std::size_t k = degeneracy + 2; k-- > 0;) {
+    if (k <= degeneracy && level_start[k] != kInvalidVertex) {
+      next_start = level_start[k];
+    }
+    level_begin[k] = next_start;
+  }
+  auto level_range = [&](VertexId k) {
+    VertexId begin = level_begin[k];
+    VertexId end = k + 1 <= degeneracy + 1 ? level_begin[k + 1] : n;
+    return std::pair<VertexId, VertexId>(begin, end);
+  };
+
+  std::vector<char> probed(n, 0);
+
+  // ---- phase A: one probe per level, |C*| .. degeneracy+1 --------------
+  {
+    VertexId lo = incumbent.size();
+    std::vector<VertexId> probes;
+    for (VertexId k = lo; k <= degeneracy; ++k) {
+      auto [begin, end] = level_range(k);
+      if (begin < end && h.coreness(begin) == k) {
+        probes.push_back(begin);
+      }
+    }
+    parallel_for(0, probes.size(), [&](std::size_t i) {
+      VertexId v = probes[i];
+      probed[v] = 1;
+      if (options.control && options.control->cancelled()) return;
+      if (h.coreness(v) >= incumbent.size()) {
+        neighbor_search(h, v, incumbent, options, stats);
+      }
+    }, 1);
+  }
+
+  // ---- phase B: all levels, high to low ---------------------------------
+  for (VertexId k = degeneracy + 1; k-- > 0;) {
+    if (k < incumbent.size()) break;  // levels below |C*| cannot help
+    auto [begin, end] = level_range(k);
+    if (begin >= end) continue;
+    parallel_for(begin, end, [&](std::size_t i) {
+      VertexId v = static_cast<VertexId>(i);
+      if (probed[v]) return;
+      if (options.control && options.control->cancelled()) return;
+      if (h.coreness(v) >= incumbent.size()) {
+        neighbor_search(h, v, incumbent, options, stats);
+      }
+    }, 1);
+  }
+}
+
+}  // namespace lazymc::mc

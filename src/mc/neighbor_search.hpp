@@ -1,0 +1,100 @@
+// Systematic search (paper Section IV-D, Algorithms 7 and 8).
+//
+// NeighborSearch proves, for one vertex v, that no clique larger than the
+// incumbent passes through v's right-neighborhood — or finds one.  It is
+// optimized for *proving absence*: three filter rounds remove candidates
+// before any recursive search starts, and most neighborhoods die in the
+// filters (Table III: a few per thousand survive).
+//
+//   filter 1  keep u with coreness(u) >= |C*|;
+//   filter 2  keep u with |N(u) ∩ N| > |C*| - 2   (intersect-size-gt-bool);
+//   filter 3  keep u with |N(u) ∩ N| > |C*| - 2, exact sizes accumulated
+//             into an edge estimate m̂            (intersect-size-gt-val).
+//
+// The edge estimate drives algorithmic choice (Section IV-E): densities
+// above `density_threshold` route to k-VC on the complement, the rest to
+// the coloring B&B MC solver.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "lazygraph/lazy_graph.hpp"
+#include "mc/bb_solver.hpp"
+#include "mc/incumbent.hpp"
+#include "mc/intersect_policy.hpp"
+#include "support/control.hpp"
+
+namespace lazymc::mc {
+
+/// Aggregated instrumentation across all NeighborSearch calls (Table III,
+/// Fig. 3).  Counters are relaxed atomics: updated once per neighborhood.
+struct SearchStats {
+  // Funnel counts (Table III): neighborhoods surviving each stage.
+  std::atomic<std::uint64_t> evaluated{0};       // NeighborSearch calls
+  std::atomic<std::uint64_t> pass_filter1{0};    // after coreness filter
+  std::atomic<std::uint64_t> pass_filter2{0};    // after 1st degree filter
+  std::atomic<std::uint64_t> pass_filter3{0};    // after 2nd degree filter
+  // Algorithmic choice (Fig. 3).
+  std::atomic<std::uint64_t> solved_mc{0};
+  std::atomic<std::uint64_t> solved_vc{0};
+  // k-VC probes abandoned on node budget and re-solved as MC.
+  std::atomic<std::uint64_t> vc_fallbacks{0};
+  // Work split in seconds (Fig. 3) and node counts (Fig. 6).
+  std::atomic<std::uint64_t> filter_ns{0};
+  std::atomic<std::uint64_t> mc_ns{0};
+  std::atomic<std::uint64_t> vc_ns{0};
+  std::atomic<std::uint64_t> mc_nodes{0};
+  std::atomic<std::uint64_t> vc_nodes{0};
+
+  double filter_seconds() const { return filter_ns.load() * 1e-9; }
+  double mc_seconds() const { return mc_ns.load() * 1e-9; }
+  double vc_seconds() const { return vc_ns.load() * 1e-9; }
+  /// Total systematic-search work in seconds (Fig. 7 "work" ratio).
+  double work_seconds() const {
+    return filter_seconds() + mc_seconds() + vc_seconds();
+  }
+};
+
+struct NeighborSearchOptions {
+  /// Density above which subproblems go to k-VC.  The paper quotes 10%
+  /// for its headline results but observes vertex cover being selected
+  /// "when the density of the subgraph is 50% or higher" (Fig. 3) and
+  /// that 30-50%-density subgraphs often run faster as MC (Fig. 6); with
+  /// this repo's basic k-VC solver 0.6 is the robust default.  Swept by
+  /// bench_fig6.
+  double density_threshold = 0.60;
+  /// Rounds of induced-degree filtering.  The paper uses 2 ("two
+  /// iterations of degree-based filtering are sufficient to exclude
+  /// search for the majority of neighborhoods") but notes the filter
+  /// could run to a fixpoint; rounds stop early when nothing is removed.
+  /// Must be >= 1.  Swept by bench_ablation_filters.
+  unsigned degree_filter_rounds = 2;
+  /// Greedy-color surviving subgraphs before dispatching a solver and
+  /// skip the solve when chi(G[N]) cannot beat the incumbent.  See
+  /// LazyMCConfig::color_prune.
+  bool color_prune = false;
+  /// Adaptive algorithmic choice: when a subgraph routed to k-VC exceeds
+  /// this branch-node budget, abandon the probe and re-solve with the MC
+  /// branch-and-bound (the density heuristic mispredicted).  Scaled by
+  /// the subgraph size; 0 disables the fallback.  The paper notes that
+  /// "a precise prediction of what algorithm is most efficient is
+  /// challenging" — this bounds the cost of a misprediction.
+  std::uint64_t vc_node_budget_per_vertex = 2000;
+  IntersectPolicy intersect;
+  const SolveControl* control = nullptr;
+};
+
+/// Algorithm 8: searches the right-neighborhood of relabelled vertex v and
+/// offers any improving clique (original ids) to the incumbent.
+void neighbor_search(LazyGraph& h, VertexId v, Incumbent& incumbent,
+                     const NeighborSearchOptions& options, SearchStats& stats);
+
+/// Algorithm 7: one probe vertex per degeneracy level (from |C*| upward),
+/// then all levels from high to low coreness, vertices within a level in
+/// parallel.
+void systematic_search(LazyGraph& h, Incumbent& incumbent,
+                       const NeighborSearchOptions& options,
+                       SearchStats& stats);
+
+}  // namespace lazymc::mc

@@ -1,0 +1,147 @@
+#include "mce/mce.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/subgraph.hpp"
+#include "kcore/kcore.hpp"
+#include "support/bitset.hpp"
+
+namespace lazymc::mce {
+namespace {
+
+/// Bron–Kerbosch with Tomita pivoting on a dense local subgraph.
+class Enumerator {
+ public:
+  Enumerator(const DenseSubgraph& g,
+             const std::function<void(std::span<const VertexId>)>& visitor,
+             const SolveControl* control, std::vector<VertexId>& scratch)
+      : g_(g), visitor_(visitor), control_(control), current_(scratch) {}
+
+  MceResult result;
+
+  void run(DynamicBitset p, DynamicBitset x) { expand(p, x); }
+
+ private:
+  void report() {
+    ++result.count;
+    result.max_size = std::max(
+        result.max_size, static_cast<VertexId>(current_.size()));
+    if (visitor_) {
+      visitor_(std::span<const VertexId>(current_.data(), current_.size()));
+    }
+  }
+
+  void expand(DynamicBitset& p, DynamicBitset& x) {
+    if (control_ && control_->should_stop(stop_counter_)) {
+      result.timed_out = true;
+      return;
+    }
+    if (!p.any() && !x.any()) {
+      report();
+      return;
+    }
+    // Tomita pivot: u in P ∪ X maximizing |P ∩ N(u)| minimizes branching.
+    std::size_t pivot = g_.size();
+    std::size_t best = 0;
+    bool have_pivot = false;
+    auto consider = [&](std::size_t u) {
+      std::size_t d = g_.adj[u].count_and(p);
+      if (!have_pivot || d > best) {
+        pivot = u;
+        best = d;
+        have_pivot = true;
+      }
+    };
+    for (std::size_t u = p.find_first(); u < p.size(); u = p.find_next(u)) {
+      consider(u);
+    }
+    for (std::size_t u = x.find_first(); u < x.size(); u = x.find_next(u)) {
+      consider(u);
+    }
+
+    // Branch on P \ N(pivot).
+    DynamicBitset candidates = p;
+    if (have_pivot) candidates.and_not_with(g_.adj[pivot]);
+    for (std::size_t v = candidates.find_first(); v < candidates.size();
+         v = candidates.find_next(v)) {
+      if (result.timed_out) return;
+      current_.push_back(g_.vertices[v]);
+      DynamicBitset np(p.size()), nx(x.size());
+      np.assign_and(p, g_.adj[v]);
+      nx.assign_and(x, g_.adj[v]);
+      expand(np, nx);
+      current_.pop_back();
+      p.reset(v);
+      x.set(v);
+    }
+  }
+
+  const DenseSubgraph& g_;
+  const std::function<void(std::span<const VertexId>)>& visitor_;
+  const SolveControl* control_;
+  std::vector<VertexId>& current_;
+  std::uint64_t stop_counter_ = 0;
+};
+
+}  // namespace
+
+MceResult enumerate_maximal_cliques(
+    const Graph& g,
+    const std::function<void(std::span<const VertexId>)>& visitor,
+    const SolveControl* control) {
+  MceResult total;
+  const VertexId n = g.num_vertices();
+  if (n == 0) return total;
+
+  // Degeneracy-order outer loop (Eppstein–Löffler–Strash): for each v in
+  // peeling order, enumerate all maximal cliques whose earliest-ordered
+  // vertex is v.  P = later-ordered neighbors, X = earlier-ordered.
+  kcore::CoreDecomposition core = kcore::coreness(g);
+  std::vector<VertexId> pos(n);
+  for (VertexId i = 0; i < n; ++i) pos[core.peel_order[i]] = i;
+
+  std::vector<VertexId> current;
+  std::vector<VertexId> members;
+  for (VertexId idx = 0; idx < n; ++idx) {
+    VertexId v = core.peel_order[idx];
+    if (g.degree(v) == 0) {
+      // Isolated vertex: itself a maximal clique.
+      ++total.count;
+      total.max_size = std::max<VertexId>(total.max_size, 1);
+      if (visitor) {
+        VertexId self[1] = {v};
+        visitor(std::span<const VertexId>(self, 1));
+      }
+      continue;
+    }
+    members.clear();
+    for (VertexId u : g.neighbors(v)) members.push_back(u);
+    DenseSubgraph sub = induce_dense(g, members);
+    DynamicBitset p(sub.size()), x(sub.size());
+    for (std::size_t i = 0; i < sub.size(); ++i) {
+      if (pos[sub.vertices[i]] > idx) {
+        p.set(i);
+      } else {
+        x.set(i);
+      }
+    }
+    current.clear();
+    current.push_back(v);
+    Enumerator e(sub, visitor, control, current);
+    e.run(std::move(p), std::move(x));
+    total.count += e.result.count;
+    total.max_size = std::max(total.max_size, e.result.max_size);
+    if (e.result.timed_out) {
+      total.timed_out = true;
+      break;
+    }
+  }
+  return total;
+}
+
+MceResult count_maximal_cliques(const Graph& g, const SolveControl* control) {
+  return enumerate_maximal_cliques(g, nullptr, control);
+}
+
+}  // namespace lazymc::mce

@@ -1,0 +1,67 @@
+#include "support/bitset.hpp"
+
+#include <algorithm>
+
+namespace lazymc {
+
+std::size_t DynamicBitset::count() const {
+  std::size_t c = 0;
+  for (std::uint64_t w : words_) c += static_cast<std::size_t>(__builtin_popcountll(w));
+  return c;
+}
+
+std::size_t DynamicBitset::count_and(const DynamicBitset& other) const {
+  std::size_t c = 0;
+  std::size_t n = std::min(words_.size(), other.words_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    c += static_cast<std::size_t>(__builtin_popcountll(words_[i] & other.words_[i]));
+  }
+  return c;
+}
+
+void DynamicBitset::and_with(const DynamicBitset& other) {
+  std::size_t n = std::min(words_.size(), other.words_.size());
+  for (std::size_t i = 0; i < n; ++i) words_[i] &= other.words_[i];
+  for (std::size_t i = n; i < words_.size(); ++i) words_[i] = 0;
+}
+
+void DynamicBitset::assign_and(const DynamicBitset& a, const DynamicBitset& b) {
+  bits_ = a.bits_;
+  words_.resize(a.words_.size());
+  std::size_t n = std::min(a.words_.size(), b.words_.size());
+  for (std::size_t i = 0; i < n; ++i) words_[i] = a.words_[i] & b.words_[i];
+  for (std::size_t i = n; i < words_.size(); ++i) words_[i] = 0;
+}
+
+void DynamicBitset::and_not_with(const DynamicBitset& other) {
+  std::size_t n = std::min(words_.size(), other.words_.size());
+  for (std::size_t i = 0; i < n; ++i) words_[i] &= ~other.words_[i];
+}
+
+std::size_t DynamicBitset::find_first() const {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w]) return w * 64 + static_cast<unsigned>(__builtin_ctzll(words_[w]));
+  }
+  return bits_;
+}
+
+std::size_t DynamicBitset::find_next(std::size_t i) const {
+  ++i;
+  if (i >= bits_) return bits_;
+  std::size_t w = i >> 6;
+  std::uint64_t word = words_[w] & (~0ULL << (i & 63));
+  for (;;) {
+    if (word) return w * 64 + static_cast<unsigned>(__builtin_ctzll(word));
+    if (++w >= words_.size()) return bits_;
+    word = words_[w];
+  }
+}
+
+bool DynamicBitset::any() const {
+  for (std::uint64_t w : words_) {
+    if (w) return true;
+  }
+  return false;
+}
+
+}  // namespace lazymc

@@ -1,0 +1,52 @@
+// Cooperative cancellation / time-limit control shared by all solvers.
+//
+// The paper's Table II enforces a 30-minute timeout ("T.O." rows).  All
+// branch-and-bound solvers in this repo check a SolveControl every few
+// thousand nodes and unwind cleanly, reporting best-so-far plus a
+// timed_out flag, which lets the benchmark harness reproduce timeout
+// behaviour without killing processes.
+#pragma once
+
+#include <atomic>
+#include <limits>
+
+#include "support/timer.hpp"
+
+namespace lazymc {
+
+class SolveControl {
+ public:
+  SolveControl() = default;
+  explicit SolveControl(double time_limit_seconds)
+      : time_limit_(time_limit_seconds) {}
+
+  /// Cheap check; reads the wall clock on the first call and then every
+  /// kCheckInterval calls.  Thread-safe: each caller passes its own
+  /// counter (zero-initialized).
+  bool should_stop(std::uint64_t& local_counter) const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if ((++local_counter & (kCheckInterval - 1)) != 1) return false;
+    if (timer_.elapsed() > time_limit_) {
+      cancelled_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  double elapsed() const { return timer_.elapsed(); }
+  double time_limit() const { return time_limit_; }
+
+ private:
+  static constexpr std::uint64_t kCheckInterval = 4096;
+
+  double time_limit_ = std::numeric_limits<double>::infinity();
+  WallTimer timer_;
+  mutable std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace lazymc

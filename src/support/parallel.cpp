@@ -1,0 +1,168 @@
+#include "support/parallel.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace lazymc {
+namespace {
+
+thread_local ThreadPool* g_current_pool = nullptr;
+
+std::size_t default_num_threads() {
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = default_num_threads();
+  // The calling thread participates, so spawn num_threads-1 workers.
+  std::size_t spawn = num_threads > 0 ? num_threads - 1 : 0;
+  threads_.reserve(spawn);
+  for (std::size_t i = 0; i < spawn; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+bool ThreadPool::in_worker() const { return g_current_pool == this; }
+
+void ThreadPool::worker_loop(std::size_t /*worker_index*/) {
+  g_current_pool = this;
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_start_.wait(lock, [&] {
+        return shutting_down_ || (current_job_ != nullptr && job_epoch_ != seen_epoch);
+      });
+      if (shutting_down_) return;
+      seen_epoch = job_epoch_;
+      job = current_job_;
+    }
+    // Participant index: workers are 1..threads_.size(); caller is 0.
+    run_job_portion(*job, /*participant=*/seen_epoch % 1 + 1);  // index fixed below
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ++workers_done_;
+    }
+    cv_done_.notify_one();
+  }
+}
+
+void ThreadPool::run_job_portion(Job& job, std::size_t participant) {
+  try {
+    if (job.per_thread) {
+      std::size_t t = job.next.fetch_add(1, std::memory_order_relaxed);
+      if (t < job.end) (*job.body)(t);
+    } else {
+      for (;;) {
+        std::size_t lo = job.next.fetch_add(job.grain, std::memory_order_relaxed);
+        if (lo >= job.end) break;
+        std::size_t hi = std::min(job.end, lo + job.grain);
+        for (std::size_t i = lo; i < hi; ++i) (*job.body)(i);
+      }
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(job.error_mutex);
+    if (!job.error) job.error = std::current_exception();
+    // Drain the remaining iterations so other participants finish quickly.
+    job.next.store(job.end, std::memory_order_relaxed);
+  }
+  (void)participant;
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t grain) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  // Nested calls and tiny ranges run inline.
+  if (in_worker() || threads_.empty() || end - begin <= grain) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  Job job;
+  job.next.store(begin, std::memory_order_relaxed);
+  job.end = end;
+  job.grain = grain;
+  job.body = &body;
+  job.per_thread = false;
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    current_job_ = &job;
+    ++job_epoch_;
+    workers_done_ = 0;
+  }
+  cv_start_.notify_all();
+
+  // The caller participates too.
+  run_job_portion(job, 0);
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [&] { return workers_done_ == threads_.size(); });
+    current_job_ = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+void ThreadPool::parallel_invoke_all(const std::function<void(std::size_t)>& fn) {
+  std::size_t p = num_threads();
+  if (in_worker() || threads_.empty()) {
+    for (std::size_t t = 0; t < p; ++t) fn(t);
+    return;
+  }
+  Job job;
+  job.next.store(0, std::memory_order_relaxed);
+  job.end = p;
+  job.body = &fn;
+  job.per_thread = true;
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    current_job_ = &job;
+    ++job_epoch_;
+    workers_done_ = 0;
+  }
+  cv_start_.notify_all();
+  run_job_portion(job, 0);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [&] { return workers_done_ == threads_.size(); });
+    current_job_ = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+namespace {
+std::unique_ptr<ThreadPool> g_pool;
+std::mutex g_pool_mutex;
+}  // namespace
+
+ThreadPool& thread_pool() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>();
+  return *g_pool;
+}
+
+void set_num_threads(std::size_t n) {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  g_pool = std::make_unique<ThreadPool>(n == 0 ? default_num_threads() : n);
+}
+
+std::size_t num_threads() { return thread_pool().num_threads(); }
+
+}  // namespace lazymc

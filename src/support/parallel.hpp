@@ -1,0 +1,126 @@
+// Parallel runtime substrate for LazyMC.
+//
+// The paper builds on the Parlay scheduler; this module provides the subset
+// of functionality the algorithms actually need — a persistent thread pool
+// with statically- and dynamically-scheduled parallel_for, parallel
+// reduction, and a thread-count knob for the scalability experiments
+// (Fig. 7).  Nested parallel_for calls from inside a worker execute
+// sequentially, which matches how LazyMC uses parallelism (one flat parfor
+// per phase over vertices / degeneracy levels).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lazymc {
+
+/// A fork-join thread pool.  One global instance (see `thread_pool()`) is
+/// shared by the whole library; tests may construct private pools.
+class ThreadPool {
+ public:
+  /// Creates a pool running `num_threads` workers (0 = hardware concurrency).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (always >= 1).
+  std::size_t num_threads() const { return threads_.size() + 1; }
+
+  /// Runs `body(i)` for i in [begin, end).  Iterations are divided into
+  /// contiguous blocks of at least `grain` iterations, distributed over all
+  /// workers with work-stealing-style dynamic chunk claiming.  Blocks until
+  /// all iterations complete.  Re-entrant calls from a worker thread run
+  /// sequentially.  Exceptions thrown by `body` propagate to the caller
+  /// (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body,
+                    std::size_t grain = 1);
+
+  /// Runs `fn(t)` once on each of the `num_threads()` participants
+  /// (t = participant index).  Used for per-thread accumulators.
+  void parallel_invoke_all(const std::function<void(std::size_t)>& fn);
+
+  /// True when called from inside one of this pool's workers.
+  bool in_worker() const;
+
+ private:
+  struct Job {
+    std::atomic<std::size_t> next{0};
+    std::size_t end = 0;
+    std::size_t grain = 1;
+    const std::function<void(std::size_t)>* body = nullptr;
+    // When per_thread is true, body receives the participant index instead
+    // of loop indices, exactly once per participant.
+    bool per_thread = false;
+    std::atomic<std::size_t> remaining_participants{0};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  };
+
+  void worker_loop(std::size_t worker_index);
+  void run_job_portion(Job& job, std::size_t participant);
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  Job* current_job_ = nullptr;
+  std::uint64_t job_epoch_ = 0;
+  std::size_t workers_done_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Returns the process-wide pool.  The first call creates it with
+/// `default_num_threads()` workers.
+ThreadPool& thread_pool();
+
+/// Sets the number of threads used by `thread_pool()`.  Destroys and
+/// recreates the global pool; must not be called concurrently with other
+/// library operations.  Used by the Fig. 7 thread sweep.
+void set_num_threads(std::size_t n);
+
+/// Current size of the global pool.
+std::size_t num_threads();
+
+/// Convenience wrappers over the global pool. ------------------------------
+
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, Body&& body,
+                  std::size_t grain = 1) {
+  std::function<void(std::size_t)> fn = std::forward<Body>(body);
+  thread_pool().parallel_for(begin, end, fn, grain);
+}
+
+/// Parallel reduction: combines `body(i)` over [begin, end) with `combine`,
+/// starting from `identity`.  `combine` must be associative.
+template <typename T, typename Body, typename Combine>
+T parallel_reduce(std::size_t begin, std::size_t end, T identity, Body&& body,
+                  Combine&& combine, std::size_t grain = 256) {
+  ThreadPool& pool = thread_pool();
+  std::size_t p = pool.num_threads();
+  std::vector<T> partial(p, identity);
+  std::atomic<std::size_t> next{begin};
+  std::function<void(std::size_t)> fn = [&](std::size_t t) {
+    T acc = identity;
+    for (;;) {
+      std::size_t lo = next.fetch_add(grain, std::memory_order_relaxed);
+      if (lo >= end) break;
+      std::size_t hi = std::min(end, lo + grain);
+      for (std::size_t i = lo; i < hi; ++i) acc = combine(acc, body(i));
+    }
+    partial[t] = acc;
+  };
+  pool.parallel_invoke_all(fn);
+  T result = identity;
+  for (const T& v : partial) result = combine(result, v);
+  return result;
+}
+
+}  // namespace lazymc

@@ -1,0 +1,42 @@
+// Test-and-test-and-set spinlock.  Used for the per-vertex locks of the
+// lazy graph (Algorithm 2, line 5): critical sections are short
+// (construct one neighborhood) and contention is rare, so a 1-byte
+// spinlock per vertex beats std::mutex on footprint.
+#pragma once
+
+#include <atomic>
+
+namespace lazymc {
+
+class SpinLock {
+ public:
+  void lock() {
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) {
+        // spin; relaxed load avoids cache-line ping-pong while held
+      }
+    }
+  }
+
+  bool try_lock() { return !flag_.exchange(true, std::memory_order_acquire); }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// RAII guard for SpinLock.
+class SpinLockGuard {
+ public:
+  explicit SpinLockGuard(SpinLock& lock) : lock_(lock) { lock_.lock(); }
+  ~SpinLockGuard() { lock_.unlock(); }
+  SpinLockGuard(const SpinLockGuard&) = delete;
+  SpinLockGuard& operator=(const SpinLockGuard&) = delete;
+
+ private:
+  SpinLock& lock_;
+};
+
+}  // namespace lazymc

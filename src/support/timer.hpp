@@ -1,0 +1,31 @@
+// Wall-clock timing used by the per-phase instrumentation (Fig. 2, 3, 7).
+#pragma once
+
+#include <chrono>
+
+namespace lazymc {
+
+/// Simple monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  /// Restarts the stopwatch and returns the elapsed seconds before restart.
+  double lap() {
+    auto now = clock::now();
+    double s = std::chrono::duration<double>(now - start_).count();
+    start_ = now;
+    return s;
+  }
+
+  /// Elapsed seconds since construction or the last lap().
+  double elapsed() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace lazymc

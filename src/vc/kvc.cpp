@@ -1,0 +1,322 @@
+#include "vc/kvc.hpp"
+
+#include <algorithm>
+
+namespace lazymc::vc {
+namespace {
+
+class Searcher {
+ public:
+  Searcher(const DenseSubgraph& g, const KvcOptions& opt) : g_(g), opt_(opt) {}
+
+  KvcResult run(std::int64_t k) {
+    const std::size_t n = g_.size();
+    DynamicBitset alive(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (g_.adj[v].any()) alive.set(v);  // degree-0 never matters
+    }
+    KvcResult out;
+    std::vector<VertexId> cover;
+    out.feasible = search(alive, k, cover);
+    out.cover = std::move(cover);
+    out.nodes = nodes_;
+    out.timed_out = timed_out_;
+    out.budget_exhausted = budget_exhausted_;
+    if (timed_out_ || budget_exhausted_) out.feasible = false;
+    return out;
+  }
+
+ private:
+  std::size_t degree(const DynamicBitset& alive, std::size_t v) const {
+    return g_.adj[v].count_and(alive);
+  }
+
+  /// Size of a greedily built maximal matching among alive vertices.
+  /// Any vertex cover contains at least one endpoint per matching edge,
+  /// so matching size > k proves infeasibility.  O(n * words).
+  std::size_t maximal_matching_size(const DynamicBitset& alive) const {
+    DynamicBitset free = alive;
+    std::size_t matched = 0;
+    for (std::size_t v = free.find_first(); v < free.size();
+         v = free.find_next(v)) {
+      // v is still free here (find_next skips vertices we reset).
+      std::size_t partner = free.size();
+      for (std::size_t u = g_.adj[v].find_first(); u < g_.adj[v].size();
+           u = g_.adj[v].find_next(u)) {
+        if (u > v && free.test(u)) {
+          partner = u;
+          break;
+        }
+      }
+      if (partner != free.size()) {
+        free.reset(v);
+        free.reset(partner);
+        ++matched;
+      }
+    }
+    return matched;
+  }
+
+  /// Minimum VC of a path/cycle component starting the walk at `start`;
+  /// appends chosen vertices to `cover` and clears the component from
+  /// `alive`.  Assumes all alive degrees <= 2.
+  void solve_degree2_component(DynamicBitset& alive, std::size_t start,
+                               std::vector<VertexId>& cover) {
+    // Find an endpoint if this is a path (a vertex of degree <= 1).
+    std::size_t cur = start;
+    std::size_t prev = alive.size();
+    for (;;) {
+      std::size_t next = alive.size();
+      for (std::size_t u = g_.adj[cur].find_first(); u < g_.adj[cur].size();
+           u = g_.adj[cur].find_next(u)) {
+        if (alive.test(u) && u != prev) {
+          next = u;
+          break;
+        }
+      }
+      if (next == alive.size()) break;  // cur is an endpoint
+      prev = cur;
+      cur = next;
+      if (cur == start) break;  // walked a full cycle
+    }
+    bool is_cycle = (cur == start && prev != alive.size());
+
+    // Walk from the endpoint (or break the cycle at `start` by taking it).
+    std::size_t walk = cur;
+    if (is_cycle) {
+      cover.push_back(static_cast<VertexId>(start));
+      alive.reset(start);
+      // The remainder is a path; find one of the two loose ends.
+      walk = alive.size();
+      for (std::size_t u = g_.adj[start].find_first();
+           u < g_.adj[start].size(); u = g_.adj[start].find_next(u)) {
+        if (alive.test(u)) {
+          walk = u;
+          break;
+        }
+      }
+      if (walk == alive.size()) return;  // start was a 2-cycle? (impossible)
+    }
+    // Greedy path cover: walk the path; when the edge (a, b) is uncovered,
+    // put b (the far endpoint) in the cover.  Optimal for paths.
+    std::size_t a = walk;
+    std::size_t before = alive.size();
+    bool a_covered = false;
+    while (true) {
+      std::size_t b = alive.size();
+      for (std::size_t u = g_.adj[a].find_first(); u < g_.adj[a].size();
+           u = g_.adj[a].find_next(u)) {
+        if (alive.test(u) && u != before) {
+          b = u;
+          break;
+        }
+      }
+      alive.reset(a);
+      if (b == alive.size()) break;  // end of path
+      if (!a_covered) {
+        cover.push_back(static_cast<VertexId>(b));
+        a_covered = true;  // b covers edge (a,b); b itself is covered
+      } else {
+        a_covered = false;
+      }
+      before = a;
+      a = b;
+      // a_covered now says whether vertex a is in the cover.
+    }
+  }
+
+  bool search(DynamicBitset alive, std::int64_t k,
+              std::vector<VertexId>& cover) {
+    ++nodes_;
+    if (opt_.control && opt_.control->should_stop(stop_counter_)) {
+      timed_out_ = true;
+      return false;
+    }
+    if (opt_.max_nodes != 0 && nodes_ > opt_.max_nodes) {
+      budget_exhausted_ = true;
+      return false;
+    }
+    const std::size_t checkpoint = cover.size();
+
+    // ---- kernelisation loop -------------------------------------------
+    for (;;) {
+      if (k < 0) {
+        cover.resize(checkpoint);
+        return false;
+      }
+      std::size_t max_deg = 0, max_v = alive.size();
+      std::size_t edges2 = 0;  // 2x edge count among alive
+      std::size_t pending = alive.size();
+      bool changed = false;
+
+      for (std::size_t v = alive.find_first(); v < alive.size();
+           v = alive.find_next(v)) {
+        std::size_t d = degree(alive, v);
+        if (d == 0) {
+          alive.reset(v);
+          continue;
+        }
+        edges2 += d;
+        if (d > static_cast<std::size_t>(k)) {
+          // Buss rule: v must be in every k-cover.
+          cover.push_back(static_cast<VertexId>(v));
+          alive.reset(v);
+          --k;
+          changed = true;
+          break;
+        }
+        if (d == 1) {
+          // Take the sole neighbor.
+          std::size_t u = alive.size();
+          for (std::size_t w = g_.adj[v].find_first(); w < g_.adj[v].size();
+               w = g_.adj[v].find_next(w)) {
+            if (alive.test(w)) {
+              u = w;
+              break;
+            }
+          }
+          cover.push_back(static_cast<VertexId>(u));
+          alive.reset(u);
+          alive.reset(v);
+          --k;
+          changed = true;
+          break;
+        }
+        if (d == 2) {
+          // Triangle rule (merge-free degree-2 case): if the two
+          // neighbors are adjacent, both are in some minimum cover.
+          std::size_t u1 = alive.size(), u2 = alive.size();
+          for (std::size_t w = g_.adj[v].find_first(); w < g_.adj[v].size();
+               w = g_.adj[v].find_next(w)) {
+            if (!alive.test(w)) continue;
+            if (u1 == alive.size()) {
+              u1 = w;
+            } else {
+              u2 = w;
+              break;
+            }
+          }
+          if (u2 != alive.size() && g_.adj[u1].test(u2)) {
+            cover.push_back(static_cast<VertexId>(u1));
+            cover.push_back(static_cast<VertexId>(u2));
+            alive.reset(u1);
+            alive.reset(u2);
+            alive.reset(v);
+            k -= 2;
+            changed = true;
+            break;
+          }
+        }
+        if (d > max_deg) {
+          max_deg = d;
+          max_v = v;
+        }
+        (void)pending;
+      }
+      if (changed) continue;
+
+      if (edges2 == 0) return true;  // everything covered
+      if (k <= 0) {
+        cover.resize(checkpoint);
+        return false;
+      }
+      // Counting bound: each cover vertex covers at most max_deg edges.
+      if (edges2 / 2 > static_cast<std::size_t>(k) * max_deg) {
+        cover.resize(checkpoint);
+        return false;
+      }
+      // Matching bound: a maximal matching needs one cover vertex per
+      // edge.  Decisive for the "prove no better clique exists" probes of
+      // MC-via-VC, where k is large but the complement still has a big
+      // matching.
+      if (maximal_matching_size(alive) > static_cast<std::size_t>(k)) {
+        cover.resize(checkpoint);
+        return false;
+      }
+
+      if (max_deg <= 2) {
+        // Paths and cycles: polynomial.
+        std::size_t needed_before = cover.size();
+        DynamicBitset scratch = alive;
+        while (scratch.any()) {
+          std::size_t v = scratch.find_first();
+          solve_degree2_component(scratch, v, cover);
+        }
+        std::int64_t used =
+            static_cast<std::int64_t>(cover.size() - needed_before);
+        if (used <= k) return true;
+        cover.resize(checkpoint);
+        return false;
+      }
+
+      // ---- branch on the max-degree vertex ----------------------------
+      // Branch 1: max_v in the cover.
+      {
+        DynamicBitset next = alive;
+        next.reset(max_v);
+        cover.push_back(static_cast<VertexId>(max_v));
+        if (search(std::move(next), k - 1, cover)) return true;
+        cover.pop_back();
+        if (timed_out_ || budget_exhausted_) {
+          cover.resize(checkpoint);
+          return false;
+        }
+      }
+      // Branch 2: N(max_v) in the cover.
+      {
+        DynamicBitset next = alive;
+        std::size_t taken = 0;
+        std::size_t before = cover.size();
+        for (std::size_t u = g_.adj[max_v].find_first();
+             u < g_.adj[max_v].size(); u = g_.adj[max_v].find_next(u)) {
+          if (!alive.test(u)) continue;
+          cover.push_back(static_cast<VertexId>(u));
+          next.reset(u);
+          ++taken;
+        }
+        next.reset(max_v);
+        if (search(std::move(next), k - static_cast<std::int64_t>(taken),
+                   cover)) {
+          return true;
+        }
+        cover.resize(before);
+      }
+      cover.resize(checkpoint);
+      return false;
+    }
+  }
+
+  const DenseSubgraph& g_;
+  const KvcOptions& opt_;
+  std::uint64_t nodes_ = 0;
+  std::uint64_t stop_counter_ = 0;
+  bool timed_out_ = false;
+  bool budget_exhausted_ = false;
+};
+
+}  // namespace
+
+KvcResult solve_kvc(const DenseSubgraph& g, std::int64_t k,
+                    const KvcOptions& options) {
+  if (k < 0) return KvcResult{};
+  Searcher searcher(g, options);
+  return searcher.run(k);
+}
+
+std::size_t minimum_vertex_cover(const DenseSubgraph& g,
+                                 const KvcOptions& options) {
+  // Feasibility is monotone in k; binary search between 0 and n.
+  std::size_t lo = 0, hi = g.size();
+  while (lo < hi) {
+    std::size_t mid = lo + (hi - lo) / 2;
+    KvcResult r = solve_kvc(g, static_cast<std::int64_t>(mid), options);
+    if (r.feasible) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace lazymc::vc

@@ -1,0 +1,53 @@
+// k-Vertex-Cover branch-and-bound solver (paper Section IV-E).
+//
+// Decides whether a dense subgraph has a vertex cover of size <= k and
+// produces one when it exists.  Implements the established reduction
+// toolkit the paper lists:
+//  * Buss kernel: a vertex of degree > k must be in any k-cover;
+//  * degree-0/1 kernelisation: isolated vertices are dropped, a
+//    degree-1 vertex's neighbor joins the cover;
+//  * the merge-free degree-2 rule: when a degree-2 vertex's neighbors are
+//    adjacent (a triangle), both neighbors join the cover;
+//  * a polynomial path/cycle solver once the maximum degree reaches 2;
+//  * branching on the highest-degree vertex: v in the cover, or N(v) is.
+//
+// State is an "alive" bitset over the (immutable) subgraph adjacency,
+// which makes undo-free branching cheap for the small, dense subproblems
+// LazyMC generates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/subgraph.hpp"
+#include "support/control.hpp"
+
+namespace lazymc::vc {
+
+struct KvcResult {
+  bool feasible = false;
+  /// A vertex cover of size <= k in local ids (valid when feasible).
+  std::vector<VertexId> cover;
+  /// Branch nodes expanded (work metric).
+  std::uint64_t nodes = 0;
+  bool timed_out = false;
+  /// True when max_nodes was hit; `feasible` is then meaningless.
+  bool budget_exhausted = false;
+};
+
+struct KvcOptions {
+  const SolveControl* control = nullptr;
+  /// Branch-node cap (0 = unlimited); exceeded -> budget_exhausted.
+  std::uint64_t max_nodes = 0;
+};
+
+/// Decides VC(g) <= k.
+KvcResult solve_kvc(const DenseSubgraph& g, std::int64_t k,
+                    const KvcOptions& options = {});
+
+/// Exact minimum vertex cover size via descending feasibility probes
+/// (test convenience; the production path uses mc_via_vc's binary search).
+std::size_t minimum_vertex_cover(const DenseSubgraph& g,
+                                 const KvcOptions& options = {});
+
+}  // namespace lazymc::vc

@@ -1,0 +1,65 @@
+#include "vc/mc_via_vc.hpp"
+
+#include <algorithm>
+
+namespace lazymc::vc {
+
+McViaVcResult max_clique_via_vc(const DenseSubgraph& s, VertexId lower_bound,
+                                const SolveControl* control,
+                                std::uint64_t node_budget) {
+  McViaVcResult out;
+  const std::size_t n = s.size();
+  if (n == 0 || n <= lower_bound) return out;
+
+  DenseSubgraph comp = s.complement();
+  KvcOptions opt;
+  opt.control = control;
+
+  // Clique size c in s  <=>  VC size n - c in comp.
+  // Feasibility of "clique >= c" is monotone decreasing in c; binary
+  // search the largest feasible c in [lower_bound + 1, n].
+  std::size_t lo = lower_bound + 1;  // smallest interesting clique size
+  std::size_t hi = n;                // largest possible
+  std::vector<VertexId> best_cover;
+  bool found = false;
+
+  while (lo <= hi) {
+    std::size_t c = lo + (hi - lo) / 2;
+    if (node_budget != 0) {
+      if (out.nodes >= node_budget) {
+        out.budget_exhausted = true;
+        return out;
+      }
+      opt.max_nodes = node_budget - out.nodes;
+    }
+    KvcResult r = solve_kvc(comp, static_cast<std::int64_t>(n - c), opt);
+    out.nodes += r.nodes;
+    if (r.timed_out) {
+      out.timed_out = true;
+      return out;
+    }
+    if (r.budget_exhausted) {
+      out.budget_exhausted = true;
+      return out;
+    }
+    if (r.feasible) {
+      found = true;
+      best_cover = std::move(r.cover);
+      lo = c + 1;
+    } else {
+      if (c == 0) break;
+      hi = c - 1;
+    }
+  }
+  if (!found) return out;
+
+  // The clique is the complement of the cover within s.
+  std::vector<char> in_cover(n, 0);
+  for (VertexId v : best_cover) in_cover[v] = 1;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!in_cover[v]) out.clique.push_back(static_cast<VertexId>(v));
+  }
+  return out;
+}
+
+}  // namespace lazymc::vc

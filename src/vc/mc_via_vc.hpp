@@ -1,0 +1,42 @@
+// Maximum clique via k-Vertex-Cover on the complement (Section IV-E).
+//
+// A clique of size c in S corresponds to a vertex cover of size |S| - c in
+// the complement of S.  LazyMC routes *dense* subgraphs here: their
+// complements are sparse, where the VC kernelisation rules shine.  Like
+// dOmega we use repeated k-VC feasibility probes, but — differently — the
+// binary search is applied within a single neighborhood's plausible range
+// [lower_bound+1, |S|].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/subgraph.hpp"
+#include "support/control.hpp"
+#include "vc/kvc.hpp"
+
+namespace lazymc::vc {
+
+struct McViaVcResult {
+  /// A clique strictly larger than lower_bound in local ids, empty if the
+  /// true maximum does not exceed the bound.  When non-empty this is a
+  /// *maximum* clique of the subgraph.
+  std::vector<VertexId> clique;
+  std::uint64_t nodes = 0;  // total k-VC branch nodes over all probes
+  bool timed_out = false;
+  /// True when the node budget was exhausted before an answer; the caller
+  /// should fall back to the MC solver (adaptive algorithmic choice —
+  /// the paper notes "a precise prediction of what algorithm is most
+  /// efficient is challenging").
+  bool budget_exhausted = false;
+};
+
+/// Finds the maximum clique of `s` if it is larger than `lower_bound`.
+/// `node_budget` caps the total k-VC branch nodes across all probes
+/// (0 = unlimited); when exceeded, the result reports budget_exhausted
+/// and the caller decides how to proceed.
+McViaVcResult max_clique_via_vc(const DenseSubgraph& s, VertexId lower_bound,
+                                const SolveControl* control = nullptr,
+                                std::uint64_t node_budget = 0);
+
+}  // namespace lazymc::vc

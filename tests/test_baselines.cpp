@@ -1,0 +1,154 @@
+// Tests for the PMC-like, dOmega-like and MC-BRB-like baselines: all must
+// compute the exact maximum clique and agree with LazyMC.
+#include <gtest/gtest.h>
+
+#include "baselines/domega.hpp"
+#include "baselines/mcbrb.hpp"
+#include "baselines/pmc.hpp"
+#include "baselines/reference.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/suite.hpp"
+#include "mc/lazymc.hpp"
+
+namespace lazymc {
+namespace {
+
+using baselines::BaselineResult;
+
+void expect_exact(const Graph& g, const BaselineResult& r, std::size_t omega,
+                  const std::string& label) {
+  EXPECT_EQ(r.omega, omega) << label;
+  EXPECT_EQ(r.clique.size(), omega) << label;
+  EXPECT_TRUE(is_clique(g, r.clique)) << label;
+  EXPECT_FALSE(r.timed_out) << label;
+}
+
+TEST(Baselines, TrivialGraphs) {
+  Graph k1 = [] {
+    GraphBuilder b(1);
+    return b.build();
+  }();
+  Graph edge = graph_from_edges(2, {{0, 1}});
+  Graph k6 = gen::complete(6);
+  for (const auto& [g, omega] :
+       std::vector<std::pair<Graph, std::size_t>>{{k1, 1}, {edge, 2}, {k6, 6}}) {
+    expect_exact(g, baselines::pmc_solve(g), omega, "pmc");
+    expect_exact(g, baselines::domega_solve(g, baselines::DomegaMode::kLinearScan),
+                 omega, "domega-ls");
+    expect_exact(g,
+                 baselines::domega_solve(g, baselines::DomegaMode::kBinarySearch),
+                 omega, "domega-bs");
+    expect_exact(g, baselines::mcbrb_solve(g), omega, "mcbrb");
+  }
+}
+
+TEST(Baselines, PmcMatchesReference) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Graph g = gen::gnp(50, 0.25, seed);
+    auto ref = baselines::max_clique_reference(g);
+    expect_exact(g, baselines::pmc_solve(g), ref.size(),
+                 "pmc seed " + std::to_string(seed));
+  }
+}
+
+TEST(Baselines, DomegaLsMatchesReference) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Graph g = gen::gnp(40, 0.25, seed);
+    auto ref = baselines::max_clique_reference(g);
+    expect_exact(g,
+                 baselines::domega_solve(g, baselines::DomegaMode::kLinearScan),
+                 ref.size(), "domega-ls seed " + std::to_string(seed));
+  }
+}
+
+TEST(Baselines, DomegaBsMatchesReference) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Graph g = gen::gnp(40, 0.25, seed);
+    auto ref = baselines::max_clique_reference(g);
+    expect_exact(
+        g, baselines::domega_solve(g, baselines::DomegaMode::kBinarySearch),
+        ref.size(), "domega-bs seed " + std::to_string(seed));
+  }
+}
+
+TEST(Baselines, McbrbMatchesReference) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Graph g = gen::gnp(50, 0.25, seed);
+    auto ref = baselines::max_clique_reference(g);
+    expect_exact(g, baselines::mcbrb_solve(g), ref.size(),
+                 "mcbrb seed " + std::to_string(seed));
+  }
+}
+
+TEST(Baselines, AllFiveSolversAgreeOnStructuredGraphs) {
+  std::vector<Graph> graphs;
+  graphs.push_back(gen::plant_clique(gen::gnp(80, 0.08, 11), 9, 12));
+  graphs.push_back(gen::bipartite(25, 25, 0.3, 13));
+  graphs.push_back(gen::planted_partition(5, 12, 0.9, 2.0, 15));
+  graphs.push_back(gen::gene_blocks(50, 6, 15, 0.8, 17));
+  graphs.push_back(gen::watts_strogatz(60, 6, 0.2, 19));
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const Graph& g = graphs[i];
+    auto lazy = mc::lazy_mc(g);
+    auto pmc = baselines::pmc_solve(g);
+    auto ls = baselines::domega_solve(g, baselines::DomegaMode::kLinearScan);
+    auto bs = baselines::domega_solve(g, baselines::DomegaMode::kBinarySearch);
+    auto brb = baselines::mcbrb_solve(g);
+    EXPECT_EQ(pmc.omega, lazy.omega) << "graph " << i;
+    EXPECT_EQ(ls.omega, lazy.omega) << "graph " << i;
+    EXPECT_EQ(bs.omega, lazy.omega) << "graph " << i;
+    EXPECT_EQ(brb.omega, lazy.omega) << "graph " << i;
+  }
+}
+
+TEST(Baselines, AgreeOnTinySuiteInstances) {
+  for (const char* name : {"CAroad", "hudong", "WormNet", "pokec"}) {
+    auto inst = suite::make_instance(name, suite::Scale::kTiny);
+    const Graph& g = inst.graph;
+    auto lazy = mc::lazy_mc(g);
+    auto pmc = baselines::pmc_solve(g);
+    auto brb = baselines::mcbrb_solve(g);
+    EXPECT_EQ(pmc.omega, lazy.omega) << name;
+    EXPECT_EQ(brb.omega, lazy.omega) << name;
+    EXPECT_TRUE(is_clique(g, pmc.clique)) << name;
+    EXPECT_TRUE(is_clique(g, brb.clique)) << name;
+  }
+}
+
+TEST(Baselines, TimeoutProducesFlag) {
+  Graph g = gen::gnp(200, 0.5, 21);
+  baselines::PmcOptions pmc_opt;
+  pmc_opt.time_limit_seconds = 0.0;
+  auto pmc = baselines::pmc_solve(g, pmc_opt);
+  EXPECT_TRUE(pmc.timed_out);
+
+  baselines::DomegaOptions d_opt;
+  d_opt.time_limit_seconds = 0.0;
+  auto ls = baselines::domega_solve(g, baselines::DomegaMode::kLinearScan, d_opt);
+  EXPECT_TRUE(ls.timed_out);
+
+  baselines::McBrbOptions m_opt;
+  m_opt.time_limit_seconds = 0.0;
+  auto brb = baselines::mcbrb_solve(g, m_opt);
+  EXPECT_TRUE(brb.timed_out);
+}
+
+TEST(Baselines, ReferenceNaiveAndBBAgree) {
+  for (std::uint64_t seed = 30; seed <= 42; ++seed) {
+    Graph g = gen::gnp(15, 0.45, seed);
+    auto naive = baselines::max_clique_naive(g);
+    auto ref = baselines::max_clique_reference(g);
+    EXPECT_EQ(ref.size(), naive.size()) << "seed " << seed;
+    EXPECT_TRUE(is_clique(g, ref));
+    EXPECT_TRUE(is_clique(g, naive));
+  }
+}
+
+TEST(Baselines, NaiveRejectsLargeGraphs) {
+  EXPECT_THROW(baselines::max_clique_naive(gen::complete(25)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lazymc

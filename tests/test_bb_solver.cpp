@@ -1,0 +1,136 @@
+// Tests for the coloring branch-and-bound MC solver on dense subgraphs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/reference.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/subgraph.hpp"
+#include "mc/bb_solver.hpp"
+
+namespace lazymc {
+namespace {
+
+DenseSubgraph induce_all(const Graph& g) {
+  std::vector<VertexId> all(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) all[v] = v;
+  return induce_dense(g, all);
+}
+
+bool local_clique(const DenseSubgraph& s, const std::vector<VertexId>& c) {
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    for (std::size_t j = i + 1; j < c.size(); ++j) {
+      if (!s.adj[c[i]].test(c[j])) return false;
+    }
+  }
+  return true;
+}
+
+TEST(BBSolver, CompleteGraph) {
+  DenseSubgraph s = induce_all(gen::complete(10));
+  auto r = mc::solve_mc_dense(s, {});
+  EXPECT_EQ(r.clique.size(), 10u);
+  EXPECT_FALSE(r.timed_out);
+}
+
+TEST(BBSolver, EmptyAndSingleton) {
+  GraphBuilder b(0);
+  DenseSubgraph empty = induce_all(b.build());
+  auto r0 = mc::solve_mc_dense(empty, {});
+  EXPECT_TRUE(r0.clique.empty());
+
+  GraphBuilder b1(1);
+  DenseSubgraph one = induce_all(b1.build());
+  auto r1 = mc::solve_mc_dense(one, {});
+  EXPECT_EQ(r1.clique.size(), 1u);
+}
+
+TEST(BBSolver, EdgelessGraphHasOmegaOne) {
+  GraphBuilder b(5);
+  DenseSubgraph s = induce_all(b.build());
+  auto r = mc::solve_mc_dense(s, {});
+  EXPECT_EQ(r.clique.size(), 1u);
+}
+
+TEST(BBSolver, CycleOmegaTwo) {
+  DenseSubgraph s = induce_all(gen::cycle(7));
+  auto r = mc::solve_mc_dense(s, {});
+  EXPECT_EQ(r.clique.size(), 2u);
+  EXPECT_TRUE(local_clique(s, r.clique));
+}
+
+TEST(BBSolver, MatchesNaiveOnSmallRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Graph g = gen::gnp(14, 0.4, seed);
+    auto naive = baselines::max_clique_naive(g);
+    DenseSubgraph s = induce_all(g);
+    auto r = mc::solve_mc_dense(s, {});
+    EXPECT_EQ(r.clique.size(), naive.size()) << "seed " << seed;
+    EXPECT_TRUE(local_clique(s, r.clique)) << "seed " << seed;
+  }
+}
+
+TEST(BBSolver, FindsPlantedClique) {
+  std::vector<VertexId> planted;
+  Graph g = gen::plant_clique(gen::gnp(60, 0.1, 31), 9, 32, &planted);
+  DenseSubgraph s = induce_all(g);
+  auto r = mc::solve_mc_dense(s, {});
+  EXPECT_GE(r.clique.size(), 9u);
+  EXPECT_TRUE(local_clique(s, r.clique));
+}
+
+TEST(BBSolver, LowerBoundSuppressesSmallCliques) {
+  DenseSubgraph s = induce_all(gen::cycle(9));  // omega = 2
+  mc::BBOptions opt;
+  opt.lower_bound = 2;
+  auto r = mc::solve_mc_dense(s, opt);
+  EXPECT_TRUE(r.clique.empty());  // nothing strictly larger than 2
+  opt.lower_bound = 1;
+  auto r2 = mc::solve_mc_dense(s, opt);
+  EXPECT_EQ(r2.clique.size(), 2u);
+}
+
+TEST(BBSolver, LowerBoundPrunesWork) {
+  Graph g = gen::gnp(50, 0.5, 33);
+  DenseSubgraph s = induce_all(g);
+  auto loose = mc::solve_mc_dense(s, {});
+  mc::BBOptions tight;
+  tight.lower_bound = static_cast<VertexId>(loose.clique.size()) - 1;
+  auto r = mc::solve_mc_dense(s, tight);
+  EXPECT_EQ(r.clique.size(), loose.clique.size());
+  EXPECT_LE(r.nodes, loose.nodes);
+}
+
+TEST(BBSolver, LiveBoundTightensDuringSearch) {
+  Graph g = gen::gnp(40, 0.5, 35);
+  DenseSubgraph s = induce_all(g);
+  auto truth = mc::solve_mc_dense(s, {});
+  std::atomic<VertexId> live{static_cast<VertexId>(truth.clique.size())};
+  mc::BBOptions opt;
+  opt.live_bound = &live;
+  auto r = mc::solve_mc_dense(s, opt);
+  // The live bound equals omega: no clique strictly larger exists.
+  EXPECT_TRUE(r.clique.empty());
+  EXPECT_LE(r.nodes, truth.nodes);
+}
+
+TEST(BBSolver, TimeoutReturnsGracefully) {
+  // A hard dense instance with an immediate-expiry control.
+  Graph g = gen::gnp(120, 0.9, 37);
+  DenseSubgraph s = induce_all(g);
+  SolveControl control(0.0);  // expires instantly
+  mc::BBOptions opt;
+  opt.control = &control;
+  auto r = mc::solve_mc_dense(s, opt);
+  EXPECT_TRUE(r.timed_out);
+}
+
+TEST(BBSolver, NodeCountPositive) {
+  DenseSubgraph s = induce_all(gen::gnp(20, 0.3, 39));
+  auto r = mc::solve_mc_dense(s, {});
+  EXPECT_GT(r.nodes, 0u);
+}
+
+}  // namespace
+}  // namespace lazymc

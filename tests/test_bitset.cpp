@@ -1,0 +1,154 @@
+// Tests for DynamicBitset, the adjacency-row representation of dense
+// subproblems.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "support/bitset.hpp"
+#include "support/random.hpp"
+
+namespace lazymc {
+namespace {
+
+TEST(DynamicBitset, StartsEmpty) {
+  DynamicBitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_FALSE(b.any());
+  EXPECT_TRUE(b.none());
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(b.test(i));
+}
+
+TEST(DynamicBitset, SetResetTest) {
+  DynamicBitset b(130);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(129));
+  EXPECT_EQ(b.count(), 4u);
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(DynamicBitset, CountAndMatchesManual) {
+  Rng rng(5);
+  DynamicBitset a(200), b(200);
+  std::set<std::size_t> sa, sb;
+  for (int i = 0; i < 80; ++i) {
+    std::size_t x = rng.next_below(200);
+    a.set(x);
+    sa.insert(x);
+    std::size_t y = rng.next_below(200);
+    b.set(y);
+    sb.insert(y);
+  }
+  std::size_t expected = 0;
+  for (std::size_t x : sa) expected += sb.count(x);
+  EXPECT_EQ(a.count_and(b), expected);
+  EXPECT_EQ(b.count_and(a), expected);
+}
+
+TEST(DynamicBitset, AndWith) {
+  DynamicBitset a(70), b(70);
+  a.set(1);
+  a.set(10);
+  a.set(65);
+  b.set(10);
+  b.set(65);
+  b.set(3);
+  a.and_with(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_TRUE(a.test(10));
+  EXPECT_TRUE(a.test(65));
+  EXPECT_FALSE(a.test(1));
+}
+
+TEST(DynamicBitset, AssignAnd) {
+  DynamicBitset a(70), b(70), c;
+  a.set(5);
+  a.set(69);
+  b.set(69);
+  c.assign_and(a, b);
+  EXPECT_EQ(c.size(), 70u);
+  EXPECT_EQ(c.count(), 1u);
+  EXPECT_TRUE(c.test(69));
+}
+
+TEST(DynamicBitset, AndNotWith) {
+  DynamicBitset a(40), b(40);
+  a.set(1);
+  a.set(2);
+  a.set(3);
+  b.set(2);
+  a.and_not_with(b);
+  EXPECT_TRUE(a.test(1));
+  EXPECT_FALSE(a.test(2));
+  EXPECT_TRUE(a.test(3));
+}
+
+TEST(DynamicBitset, FindFirstAndNext) {
+  DynamicBitset b(200);
+  EXPECT_EQ(b.find_first(), 200u);
+  b.set(17);
+  b.set(64);
+  b.set(199);
+  EXPECT_EQ(b.find_first(), 17u);
+  EXPECT_EQ(b.find_next(17), 64u);
+  EXPECT_EQ(b.find_next(64), 199u);
+  EXPECT_EQ(b.find_next(199), 200u);
+  EXPECT_EQ(b.find_next(0), 17u);
+}
+
+TEST(DynamicBitset, ForEachVisitsAscending) {
+  DynamicBitset b(300);
+  std::vector<std::size_t> expected{0, 7, 63, 64, 128, 255, 299};
+  for (auto i : expected) b.set(i);
+  std::vector<std::size_t> seen;
+  b.for_each([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(DynamicBitset, IterationMatchesTestExhaustively) {
+  Rng rng(99);
+  DynamicBitset b(517);
+  std::set<std::size_t> expected;
+  for (int i = 0; i < 200; ++i) {
+    std::size_t x = rng.next_below(517);
+    b.set(x);
+    expected.insert(x);
+  }
+  // via find_first/find_next
+  std::set<std::size_t> seen;
+  for (std::size_t i = b.find_first(); i < b.size(); i = b.find_next(i)) {
+    seen.insert(i);
+  }
+  EXPECT_EQ(seen, expected);
+  EXPECT_EQ(b.count(), expected.size());
+}
+
+TEST(DynamicBitset, ClearEmpties) {
+  DynamicBitset b(100);
+  b.set(5);
+  b.set(99);
+  b.clear();
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_FALSE(b.any());
+}
+
+TEST(DynamicBitset, EqualityComparesContent) {
+  DynamicBitset a(64), b(64);
+  EXPECT_EQ(a, b);
+  a.set(10);
+  EXPECT_NE(a, b);
+  b.set(10);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace lazymc

@@ -1,0 +1,213 @@
+// Deeper coverage for modules with thinner direct tests: baseline edge
+// cases, hopscotch growth/rehash, greedy coloring on suite instances,
+// thread-pool fuzz, and cover minimality checks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "baselines/domega.hpp"
+#include "baselines/mcbrb.hpp"
+#include "baselines/pmc.hpp"
+#include "baselines/reference.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/subgraph.hpp"
+#include "graph/suite.hpp"
+#include "hashset/hopscotch_set.hpp"
+#include "mc/greedy_color.hpp"
+#include "mc/heuristic.hpp"
+#include "mc/incumbent.hpp"
+#include "support/parallel.hpp"
+#include "support/random.hpp"
+#include "vc/kvc.hpp"
+
+namespace lazymc {
+namespace {
+
+// ---- baselines on degenerate inputs ----------------------------------------
+
+TEST(DeepBaselines, EmptyGraphAllSolvers) {
+  Graph g;
+  EXPECT_EQ(baselines::pmc_solve(g).omega, 0u);
+  EXPECT_EQ(baselines::domega_solve(g, baselines::DomegaMode::kLinearScan).omega,
+            0u);
+  EXPECT_EQ(
+      baselines::domega_solve(g, baselines::DomegaMode::kBinarySearch).omega,
+      0u);
+  EXPECT_EQ(baselines::mcbrb_solve(g).omega, 0u);
+}
+
+TEST(DeepBaselines, EdgelessGraphAllSolvers) {
+  GraphBuilder b(10);
+  Graph g = b.build();
+  EXPECT_EQ(baselines::pmc_solve(g).omega, 1u);
+  EXPECT_EQ(baselines::mcbrb_solve(g).omega, 1u);
+  EXPECT_EQ(baselines::domega_solve(g, baselines::DomegaMode::kLinearScan).omega,
+            1u);
+}
+
+TEST(DeepBaselines, DomegaOnZeroGapGraphStopsAtFirstProbe) {
+  // Zero gap: the first (gap 0) probe succeeds, which is dOmega-LS's best
+  // case (the paper's motivation for the LS variant).
+  Graph g = gen::plant_clique(gen::barabasi_albert(150, 3, 401), 9, 402);
+  auto ls = baselines::domega_solve(g, baselines::DomegaMode::kLinearScan);
+  EXPECT_EQ(ls.omega, 9u);
+}
+
+TEST(DeepBaselines, DomegaBinarySearchOnBipartite) {
+  // omega=2 with degeneracy ~np: BS must descend the whole range.
+  Graph g = gen::bipartite(30, 30, 0.4, 403);
+  auto bs = baselines::domega_solve(g, baselines::DomegaMode::kBinarySearch);
+  EXPECT_EQ(bs.omega, 2u);
+}
+
+TEST(DeepBaselines, SolversAcceptDisconnectedGraphs) {
+  Graph g = gen::graph_union(gen::complete(5), gen::cycle(20));
+  EXPECT_EQ(baselines::pmc_solve(g).omega, 5u);
+  EXPECT_EQ(baselines::mcbrb_solve(g).omega, 5u);
+  EXPECT_EQ(
+      baselines::domega_solve(g, baselines::DomegaMode::kBinarySearch).omega,
+      5u);
+}
+
+// ---- hopscotch growth path --------------------------------------------------
+
+TEST(DeepHopscotch, GrowthPreservesAllElements) {
+  // Start tiny and insert far beyond capacity to force repeated rehash.
+  HopscotchSet s(1);
+  std::size_t initial_cap = s.capacity();
+  for (VertexId v = 0; v < 4000; ++v) s.insert(v * 2 + 1);
+  EXPECT_GT(s.capacity(), initial_cap);
+  EXPECT_EQ(s.size(), 4000u);
+  for (VertexId v = 0; v < 4000; ++v) {
+    EXPECT_TRUE(s.contains(v * 2 + 1));
+    EXPECT_FALSE(s.contains(v * 2));
+  }
+}
+
+TEST(DeepHopscotch, ClusteredKeysForceDisplacement) {
+  // Keys engineered to share home buckets under Fibonacci hashing stress
+  // the displacement logic: use a small table and many inserts.
+  HopscotchSet s(4);
+  Rng rng(405);
+  std::vector<VertexId> keys;
+  for (int i = 0; i < 300; ++i) {
+    keys.push_back(static_cast<VertexId>(rng.next_below(1u << 30)));
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  for (VertexId k : keys) s.insert(k);
+  EXPECT_EQ(s.size(), keys.size());
+  for (VertexId k : keys) EXPECT_TRUE(s.contains(k));
+}
+
+// ---- greedy coloring across the suite ---------------------------------------
+
+TEST(DeepColoring, ProperOnAllTinySuiteInstances) {
+  for (const auto& name : {"sinaweibo", "WormNet", "yahoo", "USAroad"}) {
+    auto inst = suite::make_instance(name, suite::Scale::kTiny);
+    const Graph& g = inst.graph;
+    std::vector<VertexId> all(g.num_vertices());
+    std::iota(all.begin(), all.end(), 0);
+    DenseSubgraph s = induce_dense(g, all);
+    DynamicBitset p(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) p.set(i);
+    auto c = mc::greedy_color(s, p);
+    std::vector<VertexId> color_of(s.size(), 0);
+    for (std::size_t i = 0; i < c.order.size(); ++i) {
+      color_of[c.order[i]] = c.color[i];
+    }
+    for (std::size_t v = 0; v < s.size(); ++v) {
+      for (std::size_t u = s.adj[v].find_first(); u < s.adj[v].size();
+           u = s.adj[v].find_next(u)) {
+        ASSERT_NE(color_of[v], color_of[u]) << name;
+      }
+    }
+    auto ref = baselines::max_clique_reference(g);
+    EXPECT_GE(c.num_colors, ref.size()) << name;  // chi >= omega
+  }
+}
+
+// ---- thread pool fuzz --------------------------------------------------------
+
+TEST(DeepThreadPool, RandomizedRangesAndGrains) {
+  ThreadPool pool(3);
+  Rng rng(407);
+  for (int round = 0; round < 100; ++round) {
+    std::size_t begin = rng.next_below(100);
+    std::size_t end = begin + rng.next_below(5000);
+    std::size_t grain = 1 + rng.next_below(700);
+    std::atomic<std::uint64_t> sum{0};
+    pool.parallel_for(begin, end, [&](std::size_t i) { sum += i; }, grain);
+    std::uint64_t expected = 0;
+    for (std::size_t i = begin; i < end; ++i) expected += i;
+    ASSERT_EQ(sum.load(), expected) << "round " << round;
+  }
+}
+
+TEST(DeepThreadPool, ManySmallJobsBackToBack) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int i = 0; i < 500; ++i) {
+    pool.parallel_for(0, 3, [&](std::size_t) { total++; });
+  }
+  EXPECT_EQ(total.load(), 1500);
+}
+
+// ---- k-VC cover minimality near the boundary ---------------------------------
+
+TEST(DeepKvc, CoverAtExactMinimumIsMinimal) {
+  for (std::uint64_t seed = 420; seed <= 430; ++seed) {
+    Graph g = gen::gnp(13, 0.35, seed);
+    std::vector<VertexId> all(13);
+    std::iota(all.begin(), all.end(), 0);
+    DenseSubgraph s = induce_dense(g, all);
+    std::size_t mvc = vc::minimum_vertex_cover(s);
+    auto r = vc::solve_kvc(s, static_cast<std::int64_t>(mvc));
+    ASSERT_TRUE(r.feasible) << seed;
+    // The returned cover is a cover of size <= mvc; by minimality of mvc
+    // it has size exactly mvc... unless it includes redundant vertices
+    // within budget — verify size <= mvc and coverage.
+    EXPECT_LE(r.cover.size(), mvc) << seed;
+    std::vector<char> in(13, 0);
+    for (VertexId v : r.cover) in[v] = 1;
+    for (std::size_t v = 0; v < 13; ++v) {
+      for (std::size_t u = v + 1; u < 13; ++u) {
+        if (s.adj[v].test(u)) EXPECT_TRUE(in[v] || in[u]) << seed;
+      }
+    }
+  }
+}
+
+// ---- degree heuristic determinism --------------------------------------------
+
+TEST(DeepHeuristic, DegreeHeuristicSeedsByDegreeNotId) {
+  // Vertex ids shuffled: the heuristic must key on degree, finding the
+  // planted clique regardless of labels.
+  Rng rng(431);
+  Graph base = gen::plant_clique(gen::gnp(150, 0.02, 432), 11, 433);
+  // Random relabel.
+  std::vector<VertexId> perm(base.num_vertices());
+  std::iota(perm.begin(), perm.end(), 0);
+  for (std::size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.next_below(i)]);
+  }
+  GraphBuilder b(base.num_vertices());
+  for (VertexId v = 0; v < base.num_vertices(); ++v) {
+    for (VertexId u : base.neighbors(v)) {
+      if (v < u) b.add_edge(perm[v], perm[u]);
+    }
+  }
+  Graph shuffled = b.build();
+  Incumbent a, c;
+  mc::degree_based_heuristic(base, a);
+  mc::degree_based_heuristic(shuffled, c);
+  // Tie-breaking may differ under relabelling, but the planted clique's
+  // members dominate the degree ranking either way.
+  EXPECT_GE(a.size(), 10u);
+  EXPECT_GE(c.size(), 10u);
+}
+
+}  // namespace
+}  // namespace lazymc

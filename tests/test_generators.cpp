@@ -1,0 +1,165 @@
+// Tests for the synthetic graph generators.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/reference.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace lazymc {
+namespace {
+
+using namespace lazymc::gen;
+
+TEST(Generators, CompleteGraph) {
+  Graph g = complete(6);
+  EXPECT_EQ(g.num_vertices(), 6u);
+  EXPECT_EQ(g.num_edges(), 15u);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 5u);
+}
+
+TEST(Generators, CycleAndPath) {
+  Graph c = cycle(5);
+  EXPECT_EQ(c.num_edges(), 5u);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(c.degree(v), 2u);
+  Graph p = path(5);
+  EXPECT_EQ(p.num_edges(), 4u);
+  EXPECT_EQ(p.degree(0), 1u);
+  EXPECT_EQ(p.degree(2), 2u);
+}
+
+TEST(Generators, Star) {
+  Graph s = star(7);
+  EXPECT_EQ(s.num_edges(), 6u);
+  EXPECT_EQ(s.degree(0), 6u);
+  EXPECT_EQ(s.degree(3), 1u);
+}
+
+TEST(Generators, GridHasExpectedEdges) {
+  Graph g = grid(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  // 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8 = 17
+  EXPECT_EQ(g.num_edges(), 17u);
+}
+
+TEST(Generators, GnpDeterministicForSeed) {
+  Graph a = gnp(100, 0.1, 42);
+  Graph b = gnp(100, 0.1, 42);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.adjacency(), b.adjacency());
+}
+
+TEST(Generators, GnpDensityRoughlyRight) {
+  Graph g = gnp(400, 0.05, 7);
+  double expected = 0.05 * (400.0 * 399.0 / 2.0);
+  EXPECT_GT(static_cast<double>(g.num_edges()), expected * 0.8);
+  EXPECT_LT(static_cast<double>(g.num_edges()), expected * 1.2);
+}
+
+TEST(Generators, GnpEdgeCasesPZeroAndOne) {
+  EXPECT_EQ(gnp(50, 0.0, 1).num_edges(), 0u);
+  EXPECT_EQ(gnp(20, 1.0, 1).num_edges(), 190u);
+}
+
+TEST(Generators, GnmExactEdgeCount) {
+  Graph g = gnm(60, 300, 3);
+  EXPECT_EQ(g.num_vertices(), 60u);
+  EXPECT_EQ(g.num_edges(), 300u);
+}
+
+TEST(Generators, GnmRejectsImpossible) {
+  EXPECT_THROW(gnm(4, 100, 1), std::invalid_argument);
+}
+
+TEST(Generators, BarabasiAlbertDegrees) {
+  Graph g = barabasi_albert(500, 3, 9);
+  EXPECT_EQ(g.num_vertices(), 500u);
+  // Every late vertex attaches to >= 3 targets.
+  EXPECT_GE(g.num_edges(), 3u * (500 - 4));
+  EXPECT_GE(g.max_degree(), 10u);  // hubs emerge
+}
+
+TEST(Generators, RmatProducesPowerLaw) {
+  Graph g = rmat(10, 8, 0.57, 0.19, 0.19, 5);
+  EXPECT_EQ(g.num_vertices(), 1024u);
+  EXPECT_GT(g.num_edges(), 1000u);
+  EXPECT_GT(g.max_degree(), 30u);  // skewed degrees
+}
+
+TEST(Generators, WattsStrogatzDegreeConcentrated) {
+  Graph g = watts_strogatz(200, 6, 0.1, 11);
+  EXPECT_EQ(g.num_vertices(), 200u);
+  // ring edges: n*k/2 = 600, minus rewiring collisions
+  EXPECT_GT(g.num_edges(), 500u);
+  EXPECT_THROW(watts_strogatz(100, 5, 0.1, 1), std::invalid_argument);
+}
+
+TEST(Generators, PlantedPartitionHasCommunities) {
+  Graph g = planted_partition(4, 20, 1.0, 0.0, 13);
+  EXPECT_EQ(g.num_vertices(), 80u);
+  // p_intra=1: each community is a 20-clique.
+  EXPECT_EQ(g.num_edges(), 4u * (20 * 19 / 2));
+  std::vector<VertexId> community;
+  for (VertexId v = 0; v < 20; ++v) community.push_back(v);
+  EXPECT_TRUE(is_clique(g, community));
+}
+
+TEST(Generators, BipartiteIsTriangleFree) {
+  Graph g = bipartite(30, 30, 0.3, 17);
+  auto mc = baselines::max_clique_reference(g);
+  EXPECT_LE(mc.size(), 2u);
+  EXPECT_EQ(g.num_vertices(), 60u);
+}
+
+TEST(Generators, PlantCliqueCreatesClique) {
+  Graph base = gnp(100, 0.05, 23);
+  std::vector<VertexId> members;
+  Graph g = plant_clique(base, 12, 29, &members);
+  EXPECT_EQ(members.size(), 12u);
+  EXPECT_TRUE(is_clique(g, members));
+  EXPECT_EQ(g.num_vertices(), 100u);
+  // All base edges survive.
+  for (VertexId v = 0; v < base.num_vertices(); ++v) {
+    for (VertexId u : base.neighbors(v)) EXPECT_TRUE(g.has_edge(v, u));
+  }
+}
+
+TEST(Generators, PlantCliqueTooBigThrows) {
+  Graph base = gnp(10, 0.1, 1);
+  EXPECT_THROW(plant_clique(base, 11, 1), std::invalid_argument);
+}
+
+TEST(Generators, GeneBlocksDense) {
+  Graph g = gene_blocks(200, 10, 40, 0.8, 31);
+  EXPECT_EQ(g.num_vertices(), 200u);
+  // Each block contributes ~0.8 * C(40,2) edges (with overlap dedup).
+  EXPECT_GT(g.num_edges(), 2000u);
+}
+
+TEST(Generators, GraphUnionMergesEdges) {
+  Graph a = path(4);                                  // 0-1-2-3
+  Graph b = graph_from_edges(6, {{4, 5}, {0, 5}});
+  Graph u = graph_union(a, b);
+  EXPECT_EQ(u.num_vertices(), 6u);
+  EXPECT_EQ(u.num_edges(), 5u);
+  EXPECT_TRUE(u.has_edge(1, 2));
+  EXPECT_TRUE(u.has_edge(0, 5));
+}
+
+TEST(Generators, ComplementInvolution) {
+  Graph g = gnp(40, 0.3, 37);
+  Graph cc = gen::complement(gen::complement(g));
+  EXPECT_EQ(cc.num_edges(), g.num_edges());
+  for (VertexId v = 0; v < 40; ++v) {
+    for (VertexId u : g.neighbors(v)) EXPECT_TRUE(cc.has_edge(v, u));
+  }
+}
+
+TEST(Generators, ComplementOfComplete) {
+  Graph g = gen::complement(complete(8));
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace lazymc

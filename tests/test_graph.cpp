@@ -1,0 +1,188 @@
+// Tests for the CSR Graph and GraphBuilder invariants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+#include "graph/graph.hpp"
+#include "graph/subgraph.hpp"
+
+namespace lazymc {
+namespace {
+
+Graph triangle_plus_tail() {
+  // 0-1, 1-2, 0-2 (triangle), 2-3 (tail)
+  return graph_from_edges(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+}
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+}
+
+TEST(Graph, BasicProperties) {
+  Graph g = triangle_plus_tail();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(2), 3u);
+  EXPECT_EQ(g.degree(3), 1u);
+  EXPECT_EQ(g.max_degree(), 3u);
+}
+
+TEST(Graph, HasEdgeSymmetric) {
+  Graph g = triangle_plus_tail();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_FALSE(g.has_edge(3, 0));
+  EXPECT_FALSE(g.has_edge(1, 1));
+}
+
+TEST(Graph, NeighborsSortedAscending) {
+  Graph g = graph_from_edges(5, {{4, 0}, {4, 2}, {4, 1}, {4, 3}});
+  auto nbrs = g.neighbors(4);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(nbrs.size(), 4u);
+}
+
+TEST(GraphBuilder, RemovesSelfLoops) {
+  Graph g = graph_from_edges(3, {{0, 0}, {0, 1}, {1, 1}, {2, 2}});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.has_edge(0, 0));
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+TEST(GraphBuilder, DeduplicatesParallelEdges) {
+  Graph g = graph_from_edges(2, {{0, 1}, {1, 0}, {0, 1}, {0, 1}});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(GraphBuilder, ExpandsVertexCountToMaxId) {
+  GraphBuilder b(2);
+  b.add_edge(0, 9);
+  Graph g = b.build();
+  EXPECT_EQ(g.num_vertices(), 10u);
+  EXPECT_TRUE(g.has_edge(0, 9));
+}
+
+TEST(GraphBuilder, IsolatedVerticesPreserved) {
+  Graph g = graph_from_edges(6, {{0, 1}});
+  EXPECT_EQ(g.num_vertices(), 6u);
+  EXPECT_EQ(g.degree(5), 0u);
+  EXPECT_TRUE(g.neighbors(5).empty());
+}
+
+TEST(GraphBuilder, AdjacencySymmetricAfterBuild) {
+  Graph g = graph_from_edges(5, {{0, 1}, {2, 1}, {3, 4}, {0, 4}});
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId u : g.neighbors(v)) {
+      EXPECT_TRUE(g.has_edge(u, v)) << u << "-" << v;
+    }
+  }
+}
+
+TEST(IsClique, DetectsCliquesAndNonCliques) {
+  Graph g = triangle_plus_tail();
+  std::vector<VertexId> tri{0, 1, 2};
+  std::vector<VertexId> not_clique{0, 1, 3};
+  std::vector<VertexId> pair{2, 3};
+  std::vector<VertexId> single{3};
+  std::vector<VertexId> empty;
+  EXPECT_TRUE(is_clique(g, tri));
+  EXPECT_FALSE(is_clique(g, not_clique));
+  EXPECT_TRUE(is_clique(g, pair));
+  EXPECT_TRUE(is_clique(g, single));
+  EXPECT_TRUE(is_clique(g, empty));
+}
+
+TEST(IsClique, RejectsDuplicateVertices) {
+  Graph g = triangle_plus_tail();
+  std::vector<VertexId> dup{0, 0};
+  EXPECT_FALSE(is_clique(g, dup));
+}
+
+TEST(Graph, ConstructorValidatesOffsets) {
+  std::vector<EdgeId> offsets{0, 2};
+  std::vector<VertexId> adjacency{1};  // size mismatch: offsets.back()==2
+  EXPECT_THROW(Graph(std::move(offsets), std::move(adjacency)),
+               std::invalid_argument);
+}
+
+// ---- induced subgraphs ---------------------------------------------------
+
+TEST(InduceDense, ExtractsTriangle) {
+  Graph g = triangle_plus_tail();
+  std::vector<VertexId> verts{0, 1, 2};
+  DenseSubgraph s = induce_dense(g, verts);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.num_edges, 3u);
+  EXPECT_DOUBLE_EQ(s.density(), 1.0);
+  EXPECT_TRUE(s.adj[0].test(1));
+  EXPECT_TRUE(s.adj[1].test(2));
+  EXPECT_TRUE(s.adj[2].test(0));
+}
+
+TEST(InduceDense, RespectsVertexOrderAndOmitsOutside) {
+  Graph g = triangle_plus_tail();
+  std::vector<VertexId> verts{3, 2};  // edge 2-3 present; order matters
+  DenseSubgraph s = induce_dense(g, verts);
+  EXPECT_EQ(s.vertices[0], 3u);
+  EXPECT_EQ(s.vertices[1], 2u);
+  EXPECT_EQ(s.num_edges, 1u);
+  EXPECT_TRUE(s.adj[0].test(1));
+  EXPECT_TRUE(s.adj[1].test(0));
+}
+
+TEST(InduceDense, EmptySelection) {
+  Graph g = triangle_plus_tail();
+  DenseSubgraph s = induce_dense(g, {});
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.num_edges, 0u);
+  EXPECT_DOUBLE_EQ(s.density(), 0.0);
+}
+
+TEST(DenseSubgraph, ComplementFlipsEdges) {
+  Graph g = triangle_plus_tail();
+  std::vector<VertexId> verts{0, 1, 2, 3};
+  DenseSubgraph s = induce_dense(g, verts);
+  DenseSubgraph c = s.complement();
+  EXPECT_EQ(c.size(), 4u);
+  // complement of 4 edges among C(4,2)=6 pairs -> 2 edges
+  EXPECT_EQ(c.num_edges, 2u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_FALSE(c.adj[i].test(i));
+    for (std::size_t j = 0; j < 4; ++j) {
+      if (i != j) {
+        EXPECT_NE(c.adj[i].test(j), s.adj[i].test(j));
+      }
+    }
+  }
+}
+
+TEST(InduceCsr, MatchesDenseExtraction) {
+  Graph g = graph_from_edges(
+      6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {0, 2}, {1, 3}});
+  std::vector<VertexId> verts{0, 2, 3, 5};
+  std::vector<VertexId> map;
+  Graph sub = induce_csr(g, verts, &map);
+  DenseSubgraph dense = induce_dense(g, verts);
+  EXPECT_EQ(map, verts);
+  EXPECT_EQ(sub.num_vertices(), 4u);
+  EXPECT_EQ(sub.num_edges(), dense.num_edges);
+  for (std::size_t i = 0; i < verts.size(); ++i) {
+    for (std::size_t j = 0; j < verts.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_EQ(sub.has_edge(static_cast<VertexId>(i), static_cast<VertexId>(j)),
+                dense.adj[i].test(j));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lazymc

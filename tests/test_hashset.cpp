@@ -1,0 +1,133 @@
+// Tests for the hopscotch hash set.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "hashset/hopscotch_set.hpp"
+#include "support/random.hpp"
+
+namespace lazymc {
+namespace {
+
+TEST(HopscotchSet, EmptySet) {
+  HopscotchSet s;
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.contains(0));
+  EXPECT_FALSE(s.contains(12345));
+}
+
+TEST(HopscotchSet, InsertAndContains) {
+  HopscotchSet s(8);
+  EXPECT_TRUE(s.insert(5));
+  EXPECT_TRUE(s.insert(100));
+  EXPECT_TRUE(s.insert(0));
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_TRUE(s.contains(100));
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_FALSE(s.contains(6));
+}
+
+TEST(HopscotchSet, DuplicateInsertRejected) {
+  HopscotchSet s(4);
+  EXPECT_TRUE(s.insert(7));
+  EXPECT_FALSE(s.insert(7));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(HopscotchSet, ReservedKeyThrows) {
+  HopscotchSet s(4);
+  EXPECT_THROW(s.insert(kInvalidVertex), std::invalid_argument);
+}
+
+TEST(HopscotchSet, ManyInsertsWithDisplacement) {
+  // Force collisions: far more elements than the initial reservation.
+  HopscotchSet s(4);
+  std::set<VertexId> expected;
+  Rng rng(21);
+  for (int i = 0; i < 5000; ++i) {
+    VertexId v = static_cast<VertexId>(rng.next_below(1 << 20));
+    bool fresh = expected.insert(v).second;
+    EXPECT_EQ(s.insert(v), fresh);
+  }
+  EXPECT_EQ(s.size(), expected.size());
+  for (VertexId v : expected) EXPECT_TRUE(s.contains(v)) << v;
+  // Absent elements stay absent.
+  for (int i = 0; i < 2000; ++i) {
+    VertexId v = static_cast<VertexId>((1 << 20) + i);
+    EXPECT_EQ(s.contains(v), expected.count(v) > 0);
+  }
+}
+
+TEST(HopscotchSet, AdversarialSequentialKeys) {
+  // Sequential keys exercise neighborhood crowding under multiplicative
+  // hashing.
+  HopscotchSet s(64);
+  for (VertexId v = 0; v < 10000; ++v) EXPECT_TRUE(s.insert(v));
+  EXPECT_EQ(s.size(), 10000u);
+  for (VertexId v = 0; v < 10000; ++v) EXPECT_TRUE(s.contains(v));
+  EXPECT_FALSE(s.contains(10001));
+}
+
+TEST(HopscotchSet, ForEachVisitsAllOnce) {
+  HopscotchSet s(16);
+  std::set<VertexId> expected;
+  for (VertexId v = 0; v < 500; v += 7) {
+    s.insert(v);
+    expected.insert(v);
+  }
+  std::multiset<VertexId> seen;
+  s.for_each([&](VertexId v) { seen.insert(v); });
+  EXPECT_EQ(seen.size(), expected.size());
+  for (VertexId v : expected) EXPECT_EQ(seen.count(v), 1u);
+}
+
+TEST(HopscotchSet, ToSortedVector) {
+  HopscotchSet s(8);
+  for (VertexId v : {42u, 7u, 100u, 3u}) s.insert(v);
+  std::vector<VertexId> expected{3, 7, 42, 100};
+  EXPECT_EQ(s.to_sorted_vector(), expected);
+}
+
+TEST(HopscotchSet, ReserveResets) {
+  HopscotchSet s(8);
+  s.insert(1);
+  s.insert(2);
+  s.reserve(100);
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.contains(1));
+  s.insert(3);
+  EXPECT_TRUE(s.contains(3));
+}
+
+TEST(HopscotchSet, ConcurrentReadersAfterBuild) {
+  HopscotchSet s(1000);
+  for (VertexId v = 0; v < 1000; ++v) s.insert(v * 3);
+  std::vector<std::thread> readers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      for (VertexId v = 0; v < 3000; ++v) {
+        bool expect = (v % 3) == 0;
+        if (s.contains(v) != expect) failures++;
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(HopscotchSet, CapacityIsPowerOfTwoAndSufficient) {
+  for (std::size_t n : {0u, 1u, 5u, 16u, 100u, 1000u}) {
+    HopscotchSet s(n);
+    EXPECT_GE(s.capacity(), std::max<std::size_t>(n, 1));
+    EXPECT_EQ(s.capacity() & (s.capacity() - 1), 0u) << "capacity not 2^k";
+  }
+}
+
+}  // namespace
+}  // namespace lazymc

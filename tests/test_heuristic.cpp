@@ -1,0 +1,179 @@
+// Tests for the degree-based and coreness-based heuristic searches.
+#include <gtest/gtest.h>
+
+#include "baselines/reference.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "kcore/kcore.hpp"
+#include "kcore/order.hpp"
+#include "lazygraph/lazy_graph.hpp"
+#include "mc/heuristic.hpp"
+#include "support/parallel.hpp"
+
+namespace lazymc {
+namespace {
+
+TEST(DegreeHeuristic, FindsValidClique) {
+  Graph g = gen::plant_clique(gen::gnp(100, 0.05, 3), 10, 4);
+  Incumbent incumbent;
+  mc::degree_based_heuristic(g, incumbent);
+  auto clique = incumbent.snapshot();
+  EXPECT_GE(clique.size(), 2u);
+  EXPECT_TRUE(is_clique(g, clique));
+}
+
+TEST(DegreeHeuristic, ExactOnCompleteGraph) {
+  Graph g = gen::complete(12);
+  Incumbent incumbent;
+  mc::degree_based_heuristic(g, incumbent);
+  EXPECT_EQ(incumbent.size(), 12u);
+}
+
+TEST(DegreeHeuristic, EmptyGraphNoCrash) {
+  Graph g;
+  Incumbent incumbent;
+  mc::degree_based_heuristic(g, incumbent);
+  EXPECT_EQ(incumbent.size(), 0u);
+}
+
+TEST(DegreeHeuristic, SingleVertex) {
+  GraphBuilder b(1);
+  Graph g = b.build();
+  Incumbent incumbent;
+  mc::degree_based_heuristic(g, incumbent);
+  EXPECT_EQ(incumbent.size(), 1u);
+}
+
+TEST(DegreeHeuristic, NeverExceedsOmega) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Graph g = gen::gnp(40, 0.3, seed);
+    auto ref = baselines::max_clique_reference(g);
+    Incumbent incumbent;
+    mc::degree_based_heuristic(g, incumbent);
+    EXPECT_LE(incumbent.size(), ref.size()) << "seed " << seed;
+    EXPECT_TRUE(is_clique(g, incumbent.snapshot()));
+  }
+}
+
+TEST(DegreeHeuristic, TopKZeroSeedsIsNoop) {
+  Graph g = gen::complete(5);
+  Incumbent incumbent;
+  mc::HeuristicOptions opt;
+  opt.top_k = 0;
+  mc::degree_based_heuristic(g, incumbent, opt);
+  EXPECT_EQ(incumbent.size(), 0u);
+}
+
+TEST(DegreeHeuristic, FindsPlantedCliqueOnHubSeed) {
+  // The planted clique members are the highest-degree vertices in a sparse
+  // background, so the heuristic should recover it exactly.
+  Graph bg = gen::gnp(200, 0.01, 7);
+  std::vector<VertexId> members;
+  Graph g = gen::plant_clique(bg, 14, 8, &members);
+  Incumbent incumbent;
+  mc::HeuristicOptions opt;
+  opt.top_k = 32;
+  mc::degree_based_heuristic(g, incumbent, opt);
+  EXPECT_GE(incumbent.size(), 12u);  // near-exact greedy recovery
+}
+
+struct LazyFixture {
+  Graph g;
+  kcore::CoreDecomposition core;
+  kcore::VertexOrder order;
+  Incumbent incumbent;
+  std::unique_ptr<LazyGraph> lazy;
+
+  explicit LazyFixture(Graph graph) : g(std::move(graph)) {
+    core = kcore::coreness(g);
+    order = kcore::order_by_coreness_degree(g, core.coreness);
+    lazy = std::make_unique<LazyGraph>(g, order, core.coreness,
+                                       &incumbent.size_atomic());
+  }
+};
+
+TEST(CorenessHeuristic, FindsValidClique) {
+  LazyFixture f(gen::plant_clique(gen::gnp(120, 0.04, 9), 11, 10));
+  mc::coreness_based_heuristic(*f.lazy, f.incumbent);
+  auto clique = f.incumbent.snapshot();
+  EXPECT_GE(clique.size(), 3u);
+  EXPECT_TRUE(is_clique(f.g, clique));
+}
+
+TEST(CorenessHeuristic, ExactOnCompleteGraph) {
+  LazyFixture f(gen::complete(9));
+  mc::coreness_based_heuristic(*f.lazy, f.incumbent);
+  EXPECT_EQ(f.incumbent.size(), 9u);
+}
+
+TEST(CorenessHeuristic, RecoversZeroGapPlantedClique) {
+  // Planted clique larger than the background degeneracy: coreness-based
+  // search seeds at the top level, which is inside the clique, and walks
+  // it fully (the paper's zero-gap graphs are solved this way).
+  Graph bg = gen::barabasi_albert(300, 4, 11);
+  Graph g = gen::plant_clique(bg, 16, 12);
+  LazyFixture f(std::move(g));
+  mc::coreness_based_heuristic(*f.lazy, f.incumbent);
+  EXPECT_EQ(f.incumbent.size(), 16u);
+  EXPECT_TRUE(is_clique(f.g, f.incumbent.snapshot()));
+}
+
+TEST(CorenessHeuristic, NeverExceedsOmega) {
+  for (std::uint64_t seed = 20; seed <= 28; ++seed) {
+    Graph g = gen::gnp(50, 0.25, seed);
+    auto ref = baselines::max_clique_reference(g);
+    LazyFixture f(std::move(g));
+    mc::coreness_based_heuristic(*f.lazy, f.incumbent);
+    EXPECT_LE(f.incumbent.size(), ref.size()) << "seed " << seed;
+    EXPECT_TRUE(is_clique(f.g, f.incumbent.snapshot()));
+  }
+}
+
+TEST(CorenessHeuristic, EmptyGraphNoCrash) {
+  LazyFixture f(Graph{});
+  mc::coreness_based_heuristic(*f.lazy, f.incumbent);
+  EXPECT_EQ(f.incumbent.size(), 0u);
+}
+
+TEST(Heuristics, BothRespectCancelledControl) {
+  Graph g = gen::gnp(100, 0.2, 30);
+  SolveControl control;
+  control.cancel();
+  mc::HeuristicOptions opt;
+  opt.control = &control;
+  Incumbent incumbent;
+  mc::degree_based_heuristic(g, incumbent, opt);
+  EXPECT_EQ(incumbent.size(), 0u);
+  LazyFixture f(std::move(g));
+  mc::coreness_based_heuristic(*f.lazy, f.incumbent, opt);
+  EXPECT_EQ(f.incumbent.size(), 0u);
+}
+
+TEST(Incumbent, OfferKeepsLargest) {
+  Incumbent inc;
+  std::vector<VertexId> a{1, 2};
+  std::vector<VertexId> b{3, 4, 5};
+  std::vector<VertexId> c{6};
+  EXPECT_TRUE(inc.offer(a));
+  EXPECT_TRUE(inc.offer(b));
+  EXPECT_FALSE(inc.offer(c));
+  EXPECT_FALSE(inc.offer(a));
+  EXPECT_EQ(inc.size(), 3u);
+  EXPECT_EQ(inc.snapshot(), b);
+}
+
+TEST(Incumbent, ConcurrentOffersConverge) {
+  Incumbent inc;
+  parallel_for(0, 1000, [&](std::size_t i) {
+    std::vector<VertexId> clique(i % 50 + 1);
+    for (std::size_t j = 0; j < clique.size(); ++j) {
+      clique[j] = static_cast<VertexId>(j);
+    }
+    inc.offer(clique);
+  });
+  EXPECT_EQ(inc.size(), 50u);
+  EXPECT_EQ(inc.snapshot().size(), 50u);
+}
+
+}  // namespace
+}  // namespace lazymc

@@ -1,0 +1,107 @@
+// Tests for the edge-list and DIMACS readers/writers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "graph/builder.hpp"
+#include "graph/io.hpp"
+
+namespace lazymc {
+namespace {
+
+TEST(IoEdgeList, ReadsSimpleList) {
+  std::istringstream in("# comment\n0 1\n1 2\n% another comment\n2 0\n");
+  Graph g = io::read_edge_list(in);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 2));
+}
+
+TEST(IoEdgeList, ToleratesBlankAndMalformedLines) {
+  std::istringstream in("\n0 1\nnot numbers\n2 3\n");
+  Graph g = io::read_edge_list(in);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(IoEdgeList, RoundTrip) {
+  Graph g = graph_from_edges(5, {{0, 1}, {1, 2}, {3, 4}, {0, 4}});
+  std::ostringstream out;
+  io::write_edge_list(g, out);
+  std::istringstream in(out.str());
+  Graph h = io::read_edge_list(in);
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId u : g.neighbors(v)) EXPECT_TRUE(h.has_edge(v, u));
+  }
+}
+
+TEST(IoDimacs, ReadsHeaderAndEdges) {
+  std::istringstream in(
+      "c a comment\n"
+      "p edge 5 3\n"
+      "e 1 2\n"
+      "e 2 3\n"
+      "e 4 5\n");
+  Graph g = io::read_dimacs(in);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));  // 1-based -> 0-based
+  EXPECT_TRUE(g.has_edge(3, 4));
+}
+
+TEST(IoDimacs, MissingProblemLineThrows) {
+  std::istringstream in("e 1 2\n");
+  EXPECT_THROW(io::read_dimacs(in), std::runtime_error);
+}
+
+TEST(IoDimacs, ZeroBasedIdThrows) {
+  std::istringstream in("p edge 3 1\ne 0 1\n");
+  EXPECT_THROW(io::read_dimacs(in), std::runtime_error);
+}
+
+TEST(IoDimacs, RoundTrip) {
+  Graph g = graph_from_edges(4, {{0, 1}, {2, 3}, {1, 2}});
+  std::ostringstream out;
+  io::write_dimacs(g, out);
+  std::istringstream in(out.str());
+  Graph h = io::read_dimacs(in);
+  EXPECT_EQ(h.num_vertices(), 4u);
+  EXPECT_EQ(h.num_edges(), 3u);
+  EXPECT_TRUE(h.has_edge(1, 2));
+}
+
+TEST(IoDimacs, IsolatedTrailingVerticesSurvive) {
+  // "p edge 7 1" declares 7 vertices even though only 2 touch edges.
+  std::istringstream in("p edge 7 1\ne 1 2\n");
+  Graph g = io::read_dimacs(in);
+  EXPECT_EQ(g.num_vertices(), 7u);
+  EXPECT_EQ(g.degree(6), 0u);
+}
+
+TEST(IoFiles, AutoDetectAndFileRoundTrip) {
+  Graph g = graph_from_edges(6, {{0, 5}, {1, 4}, {2, 3}, {0, 1}});
+  std::string edge_path = testing::TempDir() + "/lazymc_io_test.edges";
+  std::string dimacs_path = testing::TempDir() + "/lazymc_io_test.clq";
+  io::write_edge_list_file(g, edge_path);
+  io::write_dimacs_file(g, dimacs_path);
+
+  Graph from_edges = io::read_graph_file(edge_path);
+  Graph from_dimacs = io::read_graph_file(dimacs_path);
+  EXPECT_EQ(from_edges.num_edges(), g.num_edges());
+  EXPECT_EQ(from_dimacs.num_edges(), g.num_edges());
+  EXPECT_EQ(from_dimacs.num_vertices(), g.num_vertices());
+
+  std::remove(edge_path.c_str());
+  std::remove(dimacs_path.c_str());
+}
+
+TEST(IoFiles, MissingFileThrows) {
+  EXPECT_THROW(io::read_graph_file("/nonexistent/path/graph.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lazymc

@@ -1,0 +1,242 @@
+// Tests for the lazy filtered hashed relabelled graph (Algorithm 2).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "kcore/kcore.hpp"
+#include "kcore/order.hpp"
+#include "lazygraph/lazy_graph.hpp"
+
+namespace lazymc {
+namespace {
+
+struct Fixture {
+  Graph g;
+  kcore::CoreDecomposition core;
+  kcore::VertexOrder order;
+  std::atomic<VertexId> incumbent{0};
+
+  explicit Fixture(Graph graph) : g(std::move(graph)) {
+    core = kcore::coreness(g);
+    order = kcore::order_by_coreness_degree(g, core.coreness);
+  }
+
+  LazyGraph make() {
+    return LazyGraph(g, order, core.coreness, &incumbent);
+  }
+};
+
+TEST(LazyGraph, SortedNeighborhoodMatchesBaseGraph) {
+  Fixture f(gen::gnp(60, 0.1, 3));
+  LazyGraph lazy = f.make();
+  for (VertexId v = 0; v < lazy.num_vertices(); ++v) {
+    auto lazy_nbrs = lazy.sorted_neighborhood(v);
+    // With incumbent 0, nothing is filtered.
+    std::vector<VertexId> expected;
+    for (VertexId u : f.g.neighbors(f.order.new_to_orig[v])) {
+      expected.push_back(f.order.orig_to_new[u]);
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_TRUE(std::equal(lazy_nbrs.begin(), lazy_nbrs.end(),
+                           expected.begin(), expected.end()))
+        << "vertex " << v;
+  }
+}
+
+TEST(LazyGraph, HashedNeighborhoodMatchesSorted) {
+  Fixture f(gen::gnp(50, 0.15, 5));
+  LazyGraph lazy = f.make();
+  for (VertexId v = 0; v < lazy.num_vertices(); ++v) {
+    const HopscotchSet& h = lazy.hashed_neighborhood(v);
+    auto s = lazy.sorted_neighborhood(v);
+    EXPECT_EQ(h.size(), s.size());
+    for (VertexId u : s) EXPECT_TRUE(h.contains(u));
+  }
+}
+
+TEST(LazyGraph, RightNeighborhoodOnlyHigherIds) {
+  Fixture f(gen::gnp(40, 0.2, 7));
+  LazyGraph lazy = f.make();
+  for (VertexId v = 0; v < lazy.num_vertices(); ++v) {
+    for (VertexId u : lazy.right_neighborhood(v)) {
+      EXPECT_GT(u, v);
+    }
+    // left + right = all
+    EXPECT_EQ(lazy.sorted_neighborhood(v).size() -
+                  lazy.right_neighborhood(v).size(),
+              static_cast<std::size_t>(
+                  std::count_if(lazy.sorted_neighborhood(v).begin(),
+                                lazy.sorted_neighborhood(v).end(),
+                                [&](VertexId u) { return u < v; })));
+  }
+}
+
+TEST(LazyGraph, ConstructionIsLazy) {
+  Fixture f(gen::gnp(100, 0.05, 9));
+  LazyGraph lazy = f.make();
+  EXPECT_EQ(lazy.stats().hash_built, 0u);
+  EXPECT_EQ(lazy.stats().sorted_built, 0u);
+  EXPECT_FALSE(lazy.has_hashed(0));
+  lazy.hashed_neighborhood(0);
+  EXPECT_TRUE(lazy.has_hashed(0));
+  EXPECT_EQ(lazy.stats().hash_built, 1u);
+  EXPECT_EQ(lazy.stats().sorted_built, 0u);
+}
+
+TEST(LazyGraph, MemoizedNotRebuilt) {
+  Fixture f(gen::gnp(30, 0.2, 11));
+  LazyGraph lazy = f.make();
+  lazy.hashed_neighborhood(3);
+  lazy.hashed_neighborhood(3);
+  lazy.sorted_neighborhood(3);
+  lazy.sorted_neighborhood(3);
+  EXPECT_EQ(lazy.stats().hash_built, 1u);
+  EXPECT_EQ(lazy.stats().sorted_built, 1u);
+}
+
+TEST(LazyGraph, FiltersByCorenessAgainstIncumbent) {
+  // Star: center has coreness 1, leaves coreness 1. With incumbent 2,
+  // every neighborhood filters everything (coreness 1 < 2).
+  Fixture f(gen::star(10));
+  f.incumbent.store(2);
+  LazyGraph lazy = f.make();
+  for (VertexId v = 0; v < lazy.num_vertices(); ++v) {
+    EXPECT_TRUE(lazy.sorted_neighborhood(v).empty());
+  }
+  EXPECT_GT(lazy.stats().neighbors_filtered, 0u);
+  EXPECT_EQ(lazy.stats().neighbors_kept, 0u);
+}
+
+TEST(LazyGraph, FilterKeepsHighCorenessVertices) {
+  // K5 with a pendant: clique vertices have coreness 4, pendant 1.
+  Graph k5 = gen::complete(5);
+  GraphBuilder b(6);
+  for (VertexId v = 0; v < 5; ++v) {
+    for (VertexId u : k5.neighbors(v)) {
+      if (v < u) b.add_edge(v, u);
+    }
+  }
+  b.add_edge(0, 5);
+  Fixture f(b.build());
+  f.incumbent.store(3);
+  LazyGraph lazy = f.make();
+  // The clique vertices keep each other, the pendant is filtered out of
+  // vertex 0's neighborhood, and the pendant's own neighborhood keeps its
+  // high-coreness neighbor.
+  VertexId pendant = f.order.orig_to_new[5];
+  auto pend_nbrs = lazy.sorted_neighborhood(pendant);
+  EXPECT_EQ(pend_nbrs.size(), 1u);
+  VertexId zero = f.order.orig_to_new[0];
+  auto zero_nbrs = lazy.sorted_neighborhood(zero);
+  EXPECT_EQ(zero_nbrs.size(), 4u);  // pendant filtered (coreness 1 < 3)
+  for (VertexId u : zero_nbrs) EXPECT_NE(u, pendant);
+}
+
+TEST(LazyGraph, SnapshotsDivergeAsIncumbentGrows) {
+  // Build the sorted representation early (incumbent 0), then raise the
+  // incumbent and build the hash set: the hash set must be smaller.
+  Graph g = gen::graph_union(gen::complete(5), gen::star(12));
+  Fixture f(std::move(g));
+  LazyGraph lazy = f.make();
+  VertexId hub = f.order.orig_to_new[0];  // in both K5 and the star
+  auto sorted_before = lazy.sorted_neighborhood(hub);
+  std::size_t before = sorted_before.size();
+  f.incumbent.store(4);
+  const HopscotchSet& hashed = lazy.hashed_neighborhood(hub);
+  EXPECT_LT(hashed.size(), before);
+}
+
+TEST(LazyGraph, MembershipPrefersHash) {
+  Fixture f(gen::gnp(40, 0.4, 13));
+  LazyGraph lazy = f.make();
+  lazy.hashed_neighborhood(5);
+  NeighborhoodView view = lazy.membership(5);
+  EXPECT_TRUE(view.is_hashed());
+  // A vertex with only a sorted set reports a sorted view.
+  lazy.sorted_neighborhood(7);
+  NeighborhoodView view7 = lazy.membership(7);
+  EXPECT_FALSE(view7.is_hashed());
+}
+
+TEST(LazyGraph, MembershipBuildsByDegreeThreshold) {
+  // Low-degree vertex -> sorted; high-degree -> hashed.
+  Fixture f(gen::star(40));
+  LazyGraph lazy = f.make();
+  VertexId hub = f.order.orig_to_new[0];   // degree 39 > threshold
+  VertexId leaf = f.order.orig_to_new[7];  // degree 1
+  NeighborhoodView hub_view = lazy.membership(hub);
+  EXPECT_TRUE(hub_view.is_hashed());
+  NeighborhoodView leaf_view = lazy.membership(leaf);
+  EXPECT_FALSE(leaf_view.is_hashed());
+}
+
+TEST(LazyGraph, MembershipViewContainsAgreesWithEdges) {
+  Fixture f(gen::gnp(50, 0.2, 17));
+  LazyGraph lazy = f.make();
+  for (VertexId v = 0; v < lazy.num_vertices(); ++v) {
+    NeighborhoodView view = lazy.membership(v);
+    for (VertexId u = 0; u < lazy.num_vertices(); ++u) {
+      bool edge = f.g.has_edge(f.order.new_to_orig[v], f.order.new_to_orig[u]);
+      EXPECT_EQ(view.contains(u), edge) << v << " " << u;
+    }
+  }
+}
+
+TEST(LazyGraph, PrepopulateAllBuildsEverything) {
+  Fixture f(gen::gnp(60, 0.1, 19));
+  LazyGraph lazy = f.make();
+  lazy.prepopulate(Prepopulate::kAll, 0);
+  EXPECT_EQ(lazy.stats().hash_built, 60u);
+  for (VertexId v = 0; v < 60; ++v) EXPECT_TRUE(lazy.has_hashed(v));
+}
+
+TEST(LazyGraph, PrepopulateNoneBuildsNothing) {
+  Fixture f(gen::gnp(60, 0.1, 19));
+  LazyGraph lazy = f.make();
+  lazy.prepopulate(Prepopulate::kNone, 0);
+  EXPECT_EQ(lazy.stats().hash_built, 0u);
+}
+
+TEST(LazyGraph, PrepopulateMustBuildsOnlyHighCoreness) {
+  Graph g = gen::graph_union(gen::complete(6), gen::path(20));
+  Fixture f(std::move(g));
+  LazyGraph lazy = f.make();
+  lazy.prepopulate(Prepopulate::kMustSubgraph, 5);
+  // Only the K6 members have coreness >= 5.
+  EXPECT_EQ(lazy.stats().hash_built, 6u);
+}
+
+TEST(LazyGraph, ConcurrentConstructionIsSafe) {
+  Fixture f(gen::gnp(200, 0.08, 23));
+  LazyGraph lazy = f.make();
+  std::vector<std::thread> threads;
+  std::atomic<int> errors{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (VertexId v = 0; v < 200; ++v) {
+        const HopscotchSet& h = lazy.hashed_neighborhood(v);
+        auto s = lazy.sorted_neighborhood(v);
+        if (h.size() != s.size()) errors++;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 0);
+  // Each representation built exactly once despite 8 racing threads.
+  EXPECT_EQ(lazy.stats().hash_built, 200u);
+  EXPECT_EQ(lazy.stats().sorted_built, 200u);
+}
+
+TEST(LazyGraph, MismatchedSizesThrow) {
+  Fixture f(gen::path(5));
+  std::vector<VertexId> bad_coreness(3, 0);
+  EXPECT_THROW(LazyGraph(f.g, f.order, bad_coreness, &f.incumbent),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lazymc

@@ -1,0 +1,148 @@
+// Tests for maximal clique enumeration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "baselines/reference.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "mc/lazymc.hpp"
+#include "mce/mce.hpp"
+
+namespace lazymc {
+namespace {
+
+/// Exponential reference: checks every subset for clique-ness and
+/// maximality (n <= 16).
+std::set<std::set<VertexId>> maximal_cliques_naive(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<std::uint32_t> cliques;
+  for (std::uint32_t mask = 1; mask < (1u << n); ++mask) {
+    bool ok = true;
+    for (VertexId u = 0; u < n && ok; ++u) {
+      if (!(mask & (1u << u))) continue;
+      for (VertexId v = u + 1; v < n && ok; ++v) {
+        if (!(mask & (1u << v))) continue;
+        if (!g.has_edge(u, v)) ok = false;
+      }
+    }
+    if (ok) cliques.push_back(mask);
+  }
+  std::set<std::set<VertexId>> maximal;
+  for (std::uint32_t c : cliques) {
+    bool is_maximal = true;
+    for (std::uint32_t d : cliques) {
+      if (d != c && (c & d) == c) {
+        is_maximal = false;
+        break;
+      }
+    }
+    if (is_maximal) {
+      std::set<VertexId> s;
+      for (VertexId v = 0; v < n; ++v) {
+        if (c & (1u << v)) s.insert(v);
+      }
+      maximal.insert(std::move(s));
+    }
+  }
+  return maximal;
+}
+
+TEST(Mce, CompleteGraphHasOne) {
+  auto r = mce::count_maximal_cliques(gen::complete(8));
+  EXPECT_EQ(r.count, 1u);
+  EXPECT_EQ(r.max_size, 8u);
+}
+
+TEST(Mce, PathHasEdgeCliques) {
+  auto r = mce::count_maximal_cliques(gen::path(10));
+  EXPECT_EQ(r.count, 9u);
+  EXPECT_EQ(r.max_size, 2u);
+}
+
+TEST(Mce, TriangleAndCycles) {
+  EXPECT_EQ(mce::count_maximal_cliques(gen::cycle(3)).count, 1u);
+  EXPECT_EQ(mce::count_maximal_cliques(gen::cycle(4)).count, 4u);
+  EXPECT_EQ(mce::count_maximal_cliques(gen::cycle(7)).count, 7u);
+}
+
+TEST(Mce, StarHasLeafEdges) {
+  auto r = mce::count_maximal_cliques(gen::star(6));
+  EXPECT_EQ(r.count, 5u);
+  EXPECT_EQ(r.max_size, 2u);
+}
+
+TEST(Mce, CocktailPartyGraphMoonMoser) {
+  // K(2,2,2): complete tripartite with parts of size 2 -> 2^3 = 8 maximal
+  // triangles (the Moon–Moser extremal family).
+  GraphBuilder b(6);
+  for (VertexId i = 0; i < 6; ++i) {
+    for (VertexId j = i + 1; j < 6; ++j) {
+      if (i / 2 != j / 2) b.add_edge(i, j);
+    }
+  }
+  auto r = mce::count_maximal_cliques(b.build());
+  EXPECT_EQ(r.count, 8u);
+  EXPECT_EQ(r.max_size, 3u);
+}
+
+TEST(Mce, IsolatedVerticesAreMaximalCliques) {
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  auto r = mce::count_maximal_cliques(b.build());
+  EXPECT_EQ(r.count, 1u + 3u);  // the edge + 3 isolated vertices
+  EXPECT_EQ(r.max_size, 2u);
+}
+
+TEST(Mce, EmptyGraph) {
+  auto r = mce::count_maximal_cliques(Graph{});
+  EXPECT_EQ(r.count, 0u);
+  EXPECT_EQ(r.max_size, 0u);
+}
+
+TEST(Mce, MatchesNaiveOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    Graph g = gen::gnp(12, 0.35, seed);
+    auto expected = maximal_cliques_naive(g);
+    std::set<std::set<VertexId>> seen;
+    auto r = mce::enumerate_maximal_cliques(
+        g, [&](std::span<const VertexId> clique) {
+          seen.insert(std::set<VertexId>(clique.begin(), clique.end()));
+        });
+    EXPECT_EQ(r.count, expected.size()) << "seed " << seed;
+    EXPECT_EQ(seen, expected) << "seed " << seed;
+  }
+}
+
+TEST(Mce, EveryVisitedSetIsAClique) {
+  Graph g = gen::gnp(40, 0.25, 17);
+  std::uint64_t visited = 0;
+  auto r = mce::enumerate_maximal_cliques(
+      g, [&](std::span<const VertexId> clique) {
+        ++visited;
+        ASSERT_TRUE(is_clique(g, clique));
+      });
+  EXPECT_EQ(visited, r.count);
+  EXPECT_GT(r.count, 0u);
+}
+
+TEST(Mce, MaxSizeEqualsOmega) {
+  for (std::uint64_t seed = 20; seed <= 28; ++seed) {
+    Graph g = gen::gnp(45, 0.25, seed);
+    auto mce_r = mce::count_maximal_cliques(g);
+    auto mc_r = mc::lazy_mc(g);
+    EXPECT_EQ(mce_r.max_size, mc_r.omega) << "seed " << seed;
+  }
+}
+
+TEST(Mce, CancelledControlStops) {
+  Graph g = gen::gnp(80, 0.4, 31);
+  SolveControl control;
+  control.cancel();
+  auto r = mce::count_maximal_cliques(g, &control);
+  EXPECT_TRUE(r.timed_out);
+}
+
+}  // namespace
+}  // namespace lazymc

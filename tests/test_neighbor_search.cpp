@@ -1,0 +1,160 @@
+// Tests for NeighborSearch filtering and the systematic search driver.
+#include <gtest/gtest.h>
+
+#include "baselines/reference.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "kcore/kcore.hpp"
+#include "kcore/order.hpp"
+#include "lazygraph/lazy_graph.hpp"
+#include "mc/neighbor_search.hpp"
+
+namespace lazymc {
+namespace {
+
+struct Fixture {
+  Graph g;
+  kcore::CoreDecomposition core;
+  kcore::VertexOrder order;
+  Incumbent incumbent;
+  std::unique_ptr<LazyGraph> lazy;
+  mc::SearchStats stats;
+
+  explicit Fixture(Graph graph) : g(std::move(graph)) {
+    core = kcore::coreness(g);
+    order = kcore::order_by_coreness_degree(g, core.coreness);
+    lazy = std::make_unique<LazyGraph>(g, order, core.coreness,
+                                       &incumbent.size_atomic());
+  }
+
+  void run_systematic(double density_threshold = 0.10) {
+    mc::NeighborSearchOptions opt;
+    opt.density_threshold = density_threshold;
+    mc::systematic_search(*lazy, incumbent, opt, stats);
+  }
+};
+
+TEST(SystematicSearch, ExactOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    Graph g = gen::gnp(60, 0.2, seed);
+    auto ref = baselines::max_clique_reference(g);
+    Fixture f(std::move(g));
+    f.run_systematic();
+    EXPECT_EQ(f.incumbent.size(), ref.size()) << "seed " << seed;
+    EXPECT_TRUE(is_clique(f.g, f.incumbent.snapshot())) << "seed " << seed;
+  }
+}
+
+TEST(SystematicSearch, ExactWithVcRouting) {
+  // density_threshold 0 routes every searched subgraph through k-VC.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Graph g = gen::gnp(40, 0.3, seed);
+    auto ref = baselines::max_clique_reference(g);
+    Fixture f(std::move(g));
+    f.run_systematic(0.0);
+    EXPECT_EQ(f.incumbent.size(), ref.size()) << "seed " << seed;
+    EXPECT_GT(f.stats.solved_vc.load() + f.stats.pass_filter3.load(), 0u);
+  }
+}
+
+TEST(SystematicSearch, ExactWithMcOnlyRouting) {
+  // density_threshold > 1 makes the density test unreachable: MC only.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Graph g = gen::gnp(40, 0.3, seed);
+    auto ref = baselines::max_clique_reference(g);
+    Fixture f(std::move(g));
+    f.run_systematic(1.1);
+    EXPECT_EQ(f.incumbent.size(), ref.size()) << "seed " << seed;
+    EXPECT_EQ(f.stats.solved_vc.load(), 0u);
+  }
+}
+
+TEST(SystematicSearch, FindsPlantedCliqueWithoutHeuristics) {
+  std::vector<VertexId> members;
+  Graph g = gen::plant_clique(gen::gnp(150, 0.04, 21), 12, 22, &members);
+  Fixture f(std::move(g));
+  f.run_systematic();
+  EXPECT_GE(f.incumbent.size(), 12u);
+  EXPECT_TRUE(is_clique(f.g, f.incumbent.snapshot()));
+}
+
+TEST(SystematicSearch, StatsFunnelIsMonotone) {
+  Fixture f(gen::gnp(80, 0.15, 23));
+  f.run_systematic();
+  auto evaluated = f.stats.evaluated.load();
+  auto f1 = f.stats.pass_filter1.load();
+  auto f2 = f.stats.pass_filter2.load();
+  auto f3 = f.stats.pass_filter3.load();
+  EXPECT_GE(evaluated, f1);
+  EXPECT_GE(f1, f2);
+  EXPECT_GE(f2, f3);
+  EXPECT_EQ(f3, f.stats.solved_mc.load() + f.stats.solved_vc.load());
+}
+
+TEST(SystematicSearch, PrimedIncumbentSkipsWork) {
+  Graph g = gen::gnp(80, 0.15, 25);
+  auto ref = baselines::max_clique_reference(g);
+
+  Fixture cold(std::move(g));
+  cold.run_systematic();
+  auto cold_evaluated = cold.stats.evaluated.load();
+
+  Fixture warm(cold.g);
+  warm.incumbent.offer(ref);  // prime with the optimum
+  warm.run_systematic();
+  EXPECT_EQ(warm.incumbent.size(), ref.size());
+  // With the optimum known, no improving clique exists and fewer (or
+  // equal) neighborhoods reach the solvers.
+  EXPECT_LE(warm.stats.pass_filter3.load(), cold.stats.pass_filter3.load());
+  EXPECT_LE(warm.stats.evaluated.load(), cold_evaluated);
+}
+
+TEST(NeighborSearch, SingleVertexNeighborhood) {
+  Fixture f(gen::complete(6));
+  // Search the lowest-ordered vertex directly.
+  mc::NeighborSearchOptions opt;
+  mc::neighbor_search(*f.lazy, 0, f.incumbent, opt, f.stats);
+  EXPECT_EQ(f.incumbent.size(), 6u);
+  EXPECT_EQ(f.stats.evaluated.load(), 1u);
+}
+
+TEST(NeighborSearch, RespectsCancelledControl) {
+  Fixture f(gen::gnp(60, 0.4, 27));
+  SolveControl control;
+  control.cancel();
+  mc::NeighborSearchOptions opt;
+  opt.control = &control;
+  mc::systematic_search(*f.lazy, f.incumbent, opt, f.stats);
+  // Cancelled before any solver call: no subgraph solved.
+  EXPECT_EQ(f.stats.solved_mc.load() + f.stats.solved_vc.load(), 0u);
+}
+
+TEST(SystematicSearch, ZeroGapGraphLittleSystematicWork) {
+  // When a heuristic already found a clique of size degeneracy+1, the
+  // systematic phase has nothing to prove: every level is below |C*|.
+  Graph bg = gen::barabasi_albert(200, 3, 29);
+  Graph g = gen::plant_clique(bg, 10, 30);
+  auto ref = baselines::max_clique_reference(g);
+  ASSERT_EQ(ref.size(), 10u);
+  Fixture f(std::move(g));
+  f.incumbent.offer(ref);
+  f.run_systematic();
+  // Degeneracy is 9 (the planted clique), |C*| = 10 > 9: zero evaluations.
+  EXPECT_EQ(f.stats.evaluated.load(), 0u);
+}
+
+TEST(SystematicSearch, EmptyGraph) {
+  Fixture f(Graph{});
+  f.run_systematic();
+  EXPECT_EQ(f.incumbent.size(), 0u);
+}
+
+TEST(SystematicSearch, WorkSecondsAccumulate) {
+  Fixture f(gen::gnp(100, 0.2, 31));
+  f.run_systematic();
+  EXPECT_GT(f.stats.work_seconds(), 0.0);
+  EXPECT_GE(f.stats.filter_ns.load(), 0u);
+}
+
+}  // namespace
+}  // namespace lazymc

@@ -1,0 +1,86 @@
+// Tests for the named synthetic suite standing in for the paper's corpus.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/suite.hpp"
+#include "kcore/kcore.hpp"
+
+namespace lazymc {
+namespace {
+
+TEST(Suite, Has28Instances) {
+  auto names = suite::instance_names();
+  EXPECT_EQ(names.size(), 28u);
+  std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size()) << "duplicate instance names";
+}
+
+TEST(Suite, UnknownNameThrows) {
+  EXPECT_THROW(suite::make_instance("no-such-graph", suite::Scale::kTiny),
+               std::invalid_argument);
+}
+
+TEST(Suite, TinyInstancesBuildAndAreNonTrivial) {
+  for (const auto& name : suite::instance_names()) {
+    SCOPED_TRACE(name);
+    auto inst = suite::make_instance(name, suite::Scale::kTiny);
+    EXPECT_GT(inst.graph.num_vertices(), 0u);
+    EXPECT_GT(inst.graph.num_edges(), 0u);
+    EXPECT_FALSE(inst.regime.empty());
+  }
+}
+
+TEST(Suite, DeterministicAcrossCalls) {
+  auto a = suite::make_instance("soflow", suite::Scale::kTiny);
+  auto b = suite::make_instance("soflow", suite::Scale::kTiny);
+  EXPECT_EQ(a.graph.num_vertices(), b.graph.num_vertices());
+  EXPECT_EQ(a.graph.adjacency(), b.graph.adjacency());
+}
+
+TEST(Suite, ScalesGrowMonotonically) {
+  auto tiny = suite::make_instance("sinaweibo", suite::Scale::kTiny);
+  auto small = suite::make_instance("sinaweibo", suite::Scale::kSmall);
+  EXPECT_LT(tiny.graph.num_vertices(), small.graph.num_vertices());
+}
+
+TEST(Suite, RoadGraphsHaveTinyDegeneracy) {
+  auto usa = suite::make_instance("USAroad", suite::Scale::kTiny);
+  auto core = kcore::coreness(usa.graph);
+  EXPECT_LE(core.degeneracy, 4u);
+}
+
+TEST(Suite, YahooAnalogIsBipartiteLike) {
+  auto yahoo = suite::make_instance("yahoo", suite::Scale::kTiny);
+  // Triangle-free: every edge's endpoints share no neighbor.
+  const Graph& g = yahoo.graph;
+  bool triangle = false;
+  for (VertexId v = 0; v < g.num_vertices() && !triangle; ++v) {
+    for (VertexId u : g.neighbors(v)) {
+      if (u < v) continue;
+      for (VertexId w : g.neighbors(u)) {
+        if (w > u && g.has_edge(v, w)) {
+          triangle = true;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_FALSE(triangle);
+}
+
+TEST(Suite, GeneNetworksAreDense) {
+  auto mouse = suite::make_instance("mouse", suite::Scale::kTiny);
+  const Graph& g = mouse.graph;
+  double n = g.num_vertices();
+  double density = 2.0 * static_cast<double>(g.num_edges()) / (n * (n - 1));
+  EXPECT_GT(density, 0.05);  // orders denser than the social analogs
+}
+
+TEST(Suite, FullSuiteBuildsAtTinyScale) {
+  auto all = suite::make_suite(suite::Scale::kTiny);
+  EXPECT_EQ(all.size(), 28u);
+}
+
+}  // namespace
+}  // namespace lazymc

@@ -1,0 +1,213 @@
+// Tests for the parallel runtime, PRNG, spinlock, timer and solve control.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "support/control.hpp"
+#include "support/parallel.hpp"
+#include "support/random.hpp"
+#include "support/spinlock.hpp"
+#include "support/timer.hpp"
+
+namespace lazymc {
+namespace {
+
+TEST(ThreadPool, RunsEveryIterationExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  for (auto& h : hits) h.store(0);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int count = 0;
+  pool.parallel_for(5, 5, [&](std::size_t) { ++count; });
+  pool.parallel_for(7, 3, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(ThreadPool, RespectsGrainAndOffset) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(10, 110, [&](std::size_t i) { sum += i; }, 7);
+  std::size_t expected = 0;
+  for (std::size_t i = 10; i < 110; ++i) expected += i;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ThreadPool, SingleThreadPoolWorks) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::size_t count = 0;
+  pool.parallel_for(0, 50, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 50u);
+}
+
+TEST(ThreadPool, NestedParallelForRunsSequentially) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 8, [&](std::size_t) {
+    // Nested calls must not deadlock; they run inline.
+    pool.parallel_for(0, 10, [&](std::size_t) { total++; });
+  });
+  EXPECT_EQ(total.load(), 80);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [&](std::size_t i) {
+                          if (i == 37) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelInvokeAllTouchesEveryParticipant) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(pool.num_threads());
+  for (auto& h : hits) h.store(0);
+  pool.parallel_invoke_all([&](std::size_t t) { hits[t]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 64, [&](std::size_t) { count++; });
+    ASSERT_EQ(count.load(), 64);
+  }
+}
+
+TEST(ParallelReduce, SumsCorrectly) {
+  set_num_threads(4);
+  std::uint64_t sum = parallel_reduce<std::uint64_t>(
+      0, 10000, 0, [](std::size_t i) { return static_cast<std::uint64_t>(i); },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(sum, 10000ull * 9999 / 2);
+}
+
+TEST(GlobalPool, SetNumThreadsTakesEffect) {
+  set_num_threads(3);
+  EXPECT_EQ(num_threads(), 3u);
+  set_num_threads(1);
+  EXPECT_EQ(num_threads(), 1u);
+  set_num_threads(4);
+  EXPECT_EQ(num_threads(), 4u);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b()) ? 1 : 0;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    std::uint64_t bound = 1 + (i % 97);
+    EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(SpinLock, MutualExclusion) {
+  SpinLock lock;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        SpinLockGuard guard(lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 40000);
+}
+
+TEST(SpinLock, TryLockReflectsState) {
+  SpinLock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(WallTimer, MeasuresElapsedTime) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  double e = timer.elapsed();
+  EXPECT_GE(e, 0.015);
+  EXPECT_LT(e, 5.0);
+}
+
+TEST(WallTimer, LapRestarts) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  double first = timer.lap();
+  double second = timer.elapsed();
+  EXPECT_GE(first, 0.005);
+  EXPECT_LT(second, first);
+}
+
+TEST(SolveControl, NoLimitNeverStops) {
+  SolveControl control;
+  std::uint64_t counter = 0;
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_FALSE(control.should_stop(counter));
+  }
+}
+
+TEST(SolveControl, CancelStopsImmediately) {
+  SolveControl control;
+  std::uint64_t counter = 0;
+  EXPECT_FALSE(control.should_stop(counter));
+  control.cancel();
+  EXPECT_TRUE(control.should_stop(counter));
+  EXPECT_TRUE(control.cancelled());
+}
+
+TEST(SolveControl, TimeLimitExpires) {
+  SolveControl control(0.02);
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  std::uint64_t counter = 0;
+  bool stopped = false;
+  for (int i = 0; i < 100000 && !stopped; ++i) {
+    stopped = control.should_stop(counter);
+  }
+  EXPECT_TRUE(stopped);
+}
+
+}  // namespace
+}  // namespace lazymc
