@@ -1,0 +1,67 @@
+#include "cli/graph_source.hpp"
+
+#include <stdexcept>
+
+#include "graph/io.hpp"
+#include "graph/suite.hpp"
+#include "support/timer.hpp"
+
+namespace lazymc::cli {
+namespace {
+
+suite::Scale parse_scale(const std::string& name) {
+  if (name == "tiny") return suite::Scale::kTiny;
+  if (name == "small") return suite::Scale::kSmall;
+  if (name == "medium") return suite::Scale::kMedium;
+  throw std::runtime_error("unknown suite scale '" + name +
+                           "' (expected tiny|small|medium)");
+}
+
+std::string scale_name(suite::Scale scale) {
+  switch (scale) {
+    case suite::Scale::kTiny: return "tiny";
+    case suite::Scale::kSmall: return "small";
+    case suite::Scale::kMedium: return "medium";
+  }
+  return "?";
+}
+
+LoadedGraph load_generated(const std::string& spec) {
+  // spec is "gen:NAME[:SCALE]".
+  std::string rest = spec.substr(4);
+  suite::Scale scale = suite::Scale::kSmall;
+  if (auto colon = rest.find(':'); colon != std::string::npos) {
+    scale = parse_scale(rest.substr(colon + 1));
+    rest.resize(colon);
+  }
+  if (rest.empty()) {
+    std::string names;
+    for (const auto& name : suite::instance_names()) {
+      if (!names.empty()) names += ", ";
+      names += name;
+    }
+    throw std::runtime_error("empty generator name; known instances: " +
+                             names);
+  }
+  WallTimer timer;
+  suite::Instance instance = suite::make_instance(rest, scale);
+  LoadedGraph loaded;
+  loaded.graph = std::move(instance.graph);
+  loaded.description = "gen:" + rest + ":" + scale_name(scale);
+  loaded.load_seconds = timer.elapsed();
+  return loaded;
+}
+
+}  // namespace
+
+LoadedGraph load_graph(const std::string& spec) {
+  if (spec.rfind("gen:", 0) == 0) return load_generated(spec);
+  WallTimer timer;
+  LoadedGraph loaded;
+  loaded.graph = io::read_graph_file(spec);
+  loaded.description = "file:" + spec;
+  loaded.load_seconds = timer.elapsed();
+  return loaded;
+}
+
+}  // namespace lazymc::cli

@@ -1,0 +1,25 @@
+// Resolves the driver's --graph spec into a Graph.
+//
+// Two kinds of spec:
+//  * a file path — DIMACS or edge list, auto-detected by content;
+//  * "gen:NAME[:SCALE]" — a named instance of the synthetic suite
+//    (graph/suite.hpp), SCALE in {tiny, small, medium}, default small.
+#pragma once
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace lazymc::cli {
+
+struct LoadedGraph {
+  Graph graph;
+  std::string description;  // e.g. "file:foo.clq" or "gen:dblp:small"
+  double load_seconds = 0;
+};
+
+/// Loads the graph named by `spec`.  Throws std::runtime_error with a
+/// usable message on unknown generator names or unreadable files.
+LoadedGraph load_graph(const std::string& spec);
+
+}  // namespace lazymc::cli

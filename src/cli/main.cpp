@@ -1,0 +1,131 @@
+// lazymc — command-line driver.
+//
+// Loads a graph (DIMACS, edge list, or a named synthetic-suite instance),
+// runs the chosen maximum-clique solver (or MCE), and prints the result
+// with full instrumentation as text or JSON.  See cli/options.hpp for the
+// flag reference; `lazymc --help` prints it.
+#include <cstdio>
+#include <exception>
+#include <iostream>
+
+#include "baselines/domega.hpp"
+#include "baselines/mcbrb.hpp"
+#include "baselines/pmc.hpp"
+#include "baselines/reference.hpp"
+#include "cli/graph_source.hpp"
+#include "cli/options.hpp"
+#include "cli/report.hpp"
+#include "mc/lazymc.hpp"
+#include "mce/mce.hpp"
+#include "support/control.hpp"
+#include "support/parallel.hpp"
+#include "support/timer.hpp"
+
+namespace lazymc::cli {
+namespace {
+
+void solve_into(const Options& options, RunReport& report, const Graph& g) {
+  switch (options.solver) {
+    case Solver::kLazyMc: {
+      mc::LazyMCConfig config;
+      config.vertex_order = options.order == Order::kPeeling
+                                ? mc::VertexOrderKind::kPeeling
+                                : mc::VertexOrderKind::kCorenessDegree;
+      config.time_limit_seconds = options.time_limit_seconds;
+      report.lazymc = mc::lazy_mc(g, config);
+      report.has_lazymc = true;
+      report.clique = report.lazymc.clique;
+      report.omega = report.lazymc.omega;
+      report.timed_out = report.lazymc.timed_out;
+      return;
+    }
+    case Solver::kDomegaLinearScan:
+    case Solver::kDomegaBinarySearch: {
+      baselines::DomegaOptions domega;
+      domega.time_limit_seconds = options.time_limit_seconds;
+      auto mode = options.solver == Solver::kDomegaLinearScan
+                      ? baselines::DomegaMode::kLinearScan
+                      : baselines::DomegaMode::kBinarySearch;
+      auto result = baselines::domega_solve(g, mode, domega);
+      report.clique = std::move(result.clique);
+      report.omega = result.omega;
+      report.timed_out = result.timed_out;
+      return;
+    }
+    case Solver::kMcBrb: {
+      baselines::McBrbOptions mcbrb;
+      mcbrb.time_limit_seconds = options.time_limit_seconds;
+      auto result = baselines::mcbrb_solve(g, mcbrb);
+      report.clique = std::move(result.clique);
+      report.omega = result.omega;
+      report.timed_out = result.timed_out;
+      return;
+    }
+    case Solver::kPmc: {
+      baselines::PmcOptions pmc;
+      pmc.time_limit_seconds = options.time_limit_seconds;
+      auto result = baselines::pmc_solve(g, pmc);
+      report.clique = std::move(result.clique);
+      report.omega = result.omega;
+      report.timed_out = result.timed_out;
+      return;
+    }
+    case Solver::kReference: {
+      report.clique = baselines::max_clique_reference(g);
+      report.omega = static_cast<VertexId>(report.clique.size());
+      return;
+    }
+    case Solver::kMce: {
+      SolveControl control(options.time_limit_seconds);
+      auto result = mce::count_maximal_cliques(g, &control);
+      report.has_mce = true;
+      report.mce_count = result.count;
+      report.omega = result.max_size;
+      report.timed_out = result.timed_out;
+      return;
+    }
+  }
+}
+
+int run(int argc, char** argv) {
+  bool wants_help = false;
+  Options options = parse_options(argc, argv, wants_help);
+  if (wants_help) {
+    std::cout << usage();
+    return 0;
+  }
+
+  set_num_threads(options.threads);
+
+  LoadedGraph loaded = load_graph(options.graph_spec);
+  RunReport report;
+  report.graph = loaded.description;
+  report.solver = solver_name(options.solver);
+  report.threads = num_threads();
+  report.num_vertices = loaded.graph.num_vertices();
+  report.num_edges = loaded.graph.num_edges();
+  report.load_seconds = loaded.load_seconds;
+
+  WallTimer timer;
+  solve_into(options, report, loaded.graph);
+  report.solve_seconds = timer.elapsed();
+
+  if (options.json) {
+    render_json(report, std::cout);
+  } else {
+    render_text(report, std::cout);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace lazymc::cli
+
+int main(int argc, char** argv) {
+  try {
+    return lazymc::cli::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lazymc: %s\n", e.what());
+    return 1;
+  }
+}

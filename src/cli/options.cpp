@@ -1,0 +1,118 @@
+#include "cli/options.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace lazymc::cli {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error(what + "\n\n" + usage());
+}
+
+Solver parse_solver(const std::string& name) {
+  if (name == "lazymc") return Solver::kLazyMc;
+  if (name == "domega" || name == "domega-bs")
+    return Solver::kDomegaBinarySearch;
+  if (name == "domega-ls") return Solver::kDomegaLinearScan;
+  if (name == "mcbrb") return Solver::kMcBrb;
+  if (name == "pmc") return Solver::kPmc;
+  if (name == "reference") return Solver::kReference;
+  if (name == "mce") return Solver::kMce;
+  fail("unknown solver '" + name + "'");
+}
+
+Order parse_order(const std::string& name) {
+  if (name == "coreness") return Order::kCorenessDegree;
+  if (name == "peeling") return Order::kPeeling;
+  fail("unknown vertex order '" + name + "' (expected coreness|peeling)");
+}
+
+}  // namespace
+
+std::string usage() {
+  return
+      "usage: lazymc --graph <file|gen:name[:scale]> [options]\n"
+      "\n"
+      "Loads a graph and computes its maximum clique (or enumerates its\n"
+      "maximal cliques with --solver mce).\n"
+      "\n"
+      "graph sources:\n"
+      "  <file>               DIMACS .clq/.col or whitespace edge list\n"
+      "                       (auto-detected by content)\n"
+      "  gen:NAME[:SCALE]     named instance from the synthetic suite;\n"
+      "                       SCALE is tiny|small|medium (default small)\n"
+      "\n"
+      "options:\n"
+      "  --solver NAME        lazymc (default), domega | domega-bs,\n"
+      "                       domega-ls, mcbrb, pmc, reference, mce\n"
+      "  --threads N          worker threads (default: hardware)\n"
+      "  --time-limit SECONDS wall-clock limit (default: none; the\n"
+      "                       reference solver does not support limits\n"
+      "                       and ignores this)\n"
+      "  --order KIND         lazymc vertex order: coreness (default) |\n"
+      "                       peeling; other solvers use their own order\n"
+      "  --json               emit the result as JSON on stdout\n"
+      "  --help, -h           print this message\n";
+}
+
+std::string solver_name(Solver solver) {
+  switch (solver) {
+    case Solver::kLazyMc: return "lazymc";
+    case Solver::kDomegaLinearScan: return "domega-ls";
+    case Solver::kDomegaBinarySearch: return "domega-bs";
+    case Solver::kMcBrb: return "mcbrb";
+    case Solver::kPmc: return "pmc";
+    case Solver::kReference: return "reference";
+    case Solver::kMce: return "mce";
+  }
+  return "?";
+}
+
+Options parse_options(int argc, char** argv, bool& wants_help) {
+  Options options;
+  wants_help = false;
+  auto value = [&](int& i, const std::string& flag) -> std::string {
+    if (i + 1 >= argc) fail("missing value for " + flag);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      wants_help = true;
+      return options;
+    } else if (arg == "--graph") {
+      options.graph_spec = value(i, arg);
+    } else if (arg == "--solver") {
+      options.solver = parse_solver(value(i, arg));
+    } else if (arg == "--order") {
+      options.order = parse_order(value(i, arg));
+    } else if (arg == "--threads") {
+      const std::string v = value(i, arg);
+      char* end = nullptr;
+      long n = std::strtol(v.c_str(), &end, 10);
+      if (end == v.c_str() || *end != '\0' || n < 0) {
+        fail("--threads expects a non-negative integer, got '" + v + "'");
+      }
+      options.threads = static_cast<std::size_t>(n);
+    } else if (arg == "--time-limit") {
+      const std::string v = value(i, arg);
+      char* end = nullptr;
+      double s = std::strtod(v.c_str(), &end);
+      if (end == v.c_str() || *end != '\0' || s <= 0) {
+        fail("--time-limit expects a positive number of seconds, got '" + v +
+             "'");
+      }
+      options.time_limit_seconds = s;
+    } else if (arg == "--json") {
+      options.json = true;
+    } else {
+      fail("unknown argument '" + arg + "'");
+    }
+  }
+  if (options.graph_spec.empty()) fail("--graph is required");
+  return options;
+}
+
+}  // namespace lazymc::cli

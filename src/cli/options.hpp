@@ -1,0 +1,47 @@
+// Command-line options for the `lazymc` driver binary.
+//
+// Usage:
+//   lazymc --graph <file|gen:name[:scale]> [--solver NAME] [--threads N]
+//          [--time-limit SECONDS] [--order coreness|peeling] [--json]
+//
+// Solvers: lazymc (default), domega (alias domega-bs), domega-ls, mcbrb,
+// pmc, reference, mce.
+#pragma once
+
+#include <limits>
+#include <string>
+
+namespace lazymc::cli {
+
+enum class Solver {
+  kLazyMc,
+  kDomegaLinearScan,
+  kDomegaBinarySearch,
+  kMcBrb,
+  kPmc,
+  kReference,
+  kMce,
+};
+
+enum class Order { kCorenessDegree, kPeeling };
+
+struct Options {
+  std::string graph_spec;  // file path or "gen:name[:scale]"
+  Solver solver = Solver::kLazyMc;
+  Order order = Order::kCorenessDegree;
+  std::size_t threads = 0;  // 0 = hardware default
+  double time_limit_seconds = std::numeric_limits<double>::infinity();
+  bool json = false;
+};
+
+/// Returns the usage string (also printed by --help).
+std::string usage();
+
+/// Parses argv.  Throws std::runtime_error with a message on bad input;
+/// sets `wants_help` when --help/-h was given (caller prints usage, exits 0).
+Options parse_options(int argc, char** argv, bool& wants_help);
+
+/// Human-readable solver name (matches the --solver spelling).
+std::string solver_name(Solver solver);
+
+}  // namespace lazymc::cli

@@ -1,0 +1,205 @@
+#include "cli/report.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace lazymc::cli {
+namespace {
+
+// Minimal JSON object writer: tracks comma placement and nesting so the
+// emitters below read like the output's shape.  All values here are
+// numbers, bools, short strings, or arrays of vertex ids.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {
+    out_ << std::setprecision(9);
+  }
+
+  void open(const std::string& key = "") {
+    comma();
+    label(key);
+    out_ << '{';
+    first_ = true;
+  }
+  void close() {
+    out_ << '}';
+    first_ = false;
+  }
+
+  void field(const std::string& key, const std::string& value) {
+    comma();
+    label(key);
+    string(value);
+  }
+  void field(const std::string& key, const char* value) {
+    field(key, std::string(value));
+  }
+  void field(const std::string& key, double value) {
+    comma();
+    label(key);
+    out_ << value;
+  }
+  void field(const std::string& key, bool value) {
+    comma();
+    label(key);
+    out_ << (value ? "true" : "false");
+  }
+  template <typename Int>
+  void field(const std::string& key, Int value) {
+    comma();
+    label(key);
+    out_ << static_cast<std::uint64_t>(value);
+  }
+  void field(const std::string& key, const std::vector<VertexId>& values) {
+    comma();
+    label(key);
+    out_ << '[';
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i) out_ << ',';
+      out_ << values[i];
+    }
+    out_ << ']';
+  }
+
+ private:
+  void comma() {
+    if (!first_) out_ << ',';
+    first_ = false;
+  }
+  void label(const std::string& key) {
+    if (key.empty()) return;
+    string(key);
+    out_ << ':';
+  }
+  void string(const std::string& s) {
+    out_ << '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ << "\\\""; break;
+        case '\\': out_ << "\\\\"; break;
+        case '\n': out_ << "\\n"; break;
+        case '\t': out_ << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            out_ << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+                 << static_cast<int>(c) << std::dec << std::setfill(' ');
+          } else {
+            out_ << c;
+          }
+      }
+    }
+    out_ << '"';
+  }
+
+  std::ostream& out_;
+  bool first_ = true;
+};
+
+}  // namespace
+
+void render_text(const RunReport& r, std::ostream& out) {
+  out << "graph:    " << r.graph << "  (" << r.num_vertices << " vertices, "
+      << r.num_edges << " edges; loaded in " << std::fixed
+      << std::setprecision(3) << r.load_seconds << "s)\n";
+  out << "solver:   " << r.solver << "  (" << r.threads << " thread"
+      << (r.threads == 1 ? "" : "s") << ")\n";
+  if (r.has_mce) {
+    out << "maximal cliques: " << r.mce_count << "\n";
+    out << "largest maximal clique (omega): " << r.omega << "\n";
+  } else {
+    out << "omega:    " << r.omega << "\n";
+    out << "clique:  ";
+    for (VertexId v : r.clique) out << ' ' << v;
+    out << "\n";
+  }
+  if (r.timed_out) out << "TIMED OUT (result is a lower bound)\n";
+  out << "time:     " << std::setprecision(3) << r.solve_seconds << "s\n";
+  if (!r.has_lazymc) return;
+
+  const auto& lz = r.lazymc;
+  // The gap d + 1 - omega only makes sense when the k-core phase ran
+  // (the heuristic can certify optimality first, leaving degeneracy 0).
+  const std::int64_t gap = static_cast<std::int64_t>(lz.degeneracy) + 1 -
+                           static_cast<std::int64_t>(lz.omega);
+  out << "\nheuristics: degree omega_d=" << lz.heuristic_degree_omega
+      << ", coreness omega_h=" << lz.heuristic_coreness_omega
+      << "; degeneracy d=" << lz.degeneracy;
+  if (gap >= 0) out << " (clique-core gap " << gap << ")";
+  out << "\n";
+  out << "phases (s): degree-heur=" << lz.phases.degree_heuristic
+      << " preprocess=" << lz.phases.preprocessing
+      << " must-subgraph=" << lz.phases.must_subgraph
+      << " coreness-heur=" << lz.phases.coreness_heuristic
+      << " systematic=" << lz.phases.systematic
+      << " total=" << lz.phases.total() << "\n";
+  const auto& s = lz.search;
+  out << "search:   evaluated=" << s.evaluated
+      << " pass1=" << s.pass_filter1 << " pass2=" << s.pass_filter2
+      << " pass3=" << s.pass_filter3 << " solved-mc=" << s.solved_mc
+      << " solved-vc=" << s.solved_vc << " vc-fallbacks=" << s.vc_fallbacks
+      << "\n";
+  out << "          mc-nodes=" << s.mc_nodes << " vc-nodes=" << s.vc_nodes
+      << " filter=" << s.filter_seconds << "s mc=" << s.mc_seconds
+      << "s vc=" << s.vc_seconds << "s\n";
+  const auto& g = lz.lazy_graph;
+  out << "lazygraph: hash-built=" << g.hash_built
+      << " sorted-built=" << g.sorted_built
+      << " neighbors-kept=" << g.neighbors_kept
+      << " neighbors-filtered=" << g.neighbors_filtered << "\n";
+}
+
+void render_json(const RunReport& r, std::ostream& out) {
+  JsonWriter w(out);
+  w.open();
+  w.field("graph", r.graph);
+  w.field("solver", r.solver);
+  w.field("threads", r.threads);
+  w.field("num_vertices", r.num_vertices);
+  w.field("num_edges", r.num_edges);
+  w.field("load_seconds", r.load_seconds);
+  w.field("solve_seconds", r.solve_seconds);
+  w.field("omega", r.omega);
+  w.field("timed_out", r.timed_out);
+  if (!r.has_mce) w.field("clique", r.clique);
+  if (r.has_mce) w.field("maximal_clique_count", r.mce_count);
+  if (r.has_lazymc) {
+    const auto& lz = r.lazymc;
+    w.field("heuristic_degree_omega", lz.heuristic_degree_omega);
+    w.field("heuristic_coreness_omega", lz.heuristic_coreness_omega);
+    w.field("degeneracy", lz.degeneracy);
+    w.open("phases");
+    w.field("degree_heuristic", lz.phases.degree_heuristic);
+    w.field("preprocessing", lz.phases.preprocessing);
+    w.field("must_subgraph", lz.phases.must_subgraph);
+    w.field("coreness_heuristic", lz.phases.coreness_heuristic);
+    w.field("systematic", lz.phases.systematic);
+    w.field("total", lz.phases.total());
+    w.close();
+    const auto& s = lz.search;
+    w.open("search");
+    w.field("evaluated", s.evaluated);
+    w.field("pass_filter1", s.pass_filter1);
+    w.field("pass_filter2", s.pass_filter2);
+    w.field("pass_filter3", s.pass_filter3);
+    w.field("solved_mc", s.solved_mc);
+    w.field("solved_vc", s.solved_vc);
+    w.field("vc_fallbacks", s.vc_fallbacks);
+    w.field("filter_seconds", s.filter_seconds);
+    w.field("mc_seconds", s.mc_seconds);
+    w.field("vc_seconds", s.vc_seconds);
+    w.field("mc_nodes", s.mc_nodes);
+    w.field("vc_nodes", s.vc_nodes);
+    w.close();
+    const auto& g = lz.lazy_graph;
+    w.open("lazy_graph");
+    w.field("hash_built", g.hash_built);
+    w.field("sorted_built", g.sorted_built);
+    w.field("neighbors_kept", g.neighbors_kept);
+    w.field("neighbors_filtered", g.neighbors_filtered);
+    w.close();
+  }
+  w.close();
+  out << "\n";
+}
+
+}  // namespace lazymc::cli

@@ -1,0 +1,43 @@
+// Renders a driver run as human-readable text or a single JSON object.
+//
+// The JSON form exposes the complete LazyMCResult instrumentation (phase
+// times, search stats, lazy-graph stats) so scripted sweeps can regenerate
+// the paper's figures without parsing tables.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mc/lazymc.hpp"
+
+namespace lazymc::cli {
+
+struct RunReport {
+  std::string graph;   // LoadedGraph::description
+  std::string solver;  // solver_name(...)
+  std::size_t threads = 1;
+  VertexId num_vertices = 0;
+  EdgeId num_edges = 0;
+  double load_seconds = 0;
+  double solve_seconds = 0;
+
+  std::vector<VertexId> clique;  // empty for mce
+  VertexId omega = 0;
+  bool timed_out = false;
+
+  /// Full instrumentation, present only for --solver lazymc.
+  bool has_lazymc = false;
+  mc::LazyMCResult lazymc;
+
+  /// Present only for --solver mce.
+  bool has_mce = false;
+  std::uint64_t mce_count = 0;
+};
+
+void render_text(const RunReport& report, std::ostream& out);
+void render_json(const RunReport& report, std::ostream& out);
+
+}  // namespace lazymc::cli

@@ -23,6 +23,14 @@ class GraphBuilder {
     edges_.emplace_back(u, v);
   }
 
+  /// Guarantees the built graph has at least `n` vertices, without adding
+  /// any edge.  Lets format readers honor a declared vertex count whose
+  /// top vertices are isolated (e.g. a DIMACS "p edge n m" header).
+  void ensure_vertices(VertexId n) { n_ = std::max(n_, n); }
+
+  /// Vertex count the graph would have if built now.
+  VertexId num_vertices() const { return n_; }
+
   std::size_t num_pending_edges() const { return edges_.size(); }
 
   /// Builds the CSR graph.  The builder may be reused afterwards (it keeps

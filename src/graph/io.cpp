@@ -1,7 +1,9 @@
 #include "graph/io.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -21,16 +23,33 @@ std::ifstream open_or_throw(const std::string& path) {
   return in;
 }
 
+// CRLF inputs leave a trailing '\r' on every getline; strip it so Windows
+// and Unix copies of the same file parse identically.
+void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
 }  // namespace
 
 Graph read_edge_list(std::istream& in) {
   GraphBuilder builder;
   std::string line;
+  std::uint64_t line_no = 0;
+  // Largest representable 0-based id: the builder stores counts (id + 1)
+  // in VertexId, so VertexId's max itself is off-limits too.
+  constexpr std::uint64_t kMaxId = std::numeric_limits<VertexId>::max() - 1;
   while (std::getline(in, line)) {
+    ++line_no;
+    strip_cr(line);
     if (line.empty() || line[0] == '#' || line[0] == '%') continue;
     std::istringstream ls(line);
     std::uint64_t u, v;
     if (!(ls >> u >> v)) continue;  // tolerate stray lines
+    if (u > kMaxId || v > kMaxId) {
+      fail("edge-list vertex id " + std::to_string(std::max(u, v)) +
+           " exceeds the supported maximum " + std::to_string(kMaxId) +
+           " (line " + std::to_string(line_no) + ")");
+    }
     builder.add_edge(static_cast<VertexId>(u), static_cast<VertexId>(v));
   }
   return builder.build();
@@ -40,27 +59,59 @@ Graph read_dimacs(std::istream& in) {
   GraphBuilder builder;
   std::string line;
   bool saw_problem = false;
+  std::uint64_t declared_n = 0, declared_m = 0, edge_records = 0;
+  std::uint64_t line_no = 0;
   while (std::getline(in, line)) {
+    ++line_no;
+    strip_cr(line);
     if (line.empty()) continue;
     switch (line[0]) {
       case 'c':
         break;
       case 'p': {
+        if (saw_problem) {
+          fail("duplicate DIMACS 'p' line (line " + std::to_string(line_no) +
+               ")");
+        }
         std::istringstream ls(line);
         std::string p, kind;
-        std::uint64_t n = 0, m = 0;
-        if (!(ls >> p >> kind >> n >> m)) fail("malformed DIMACS 'p' line");
-        if (n > 0) builder.add_edge(static_cast<VertexId>(n - 1),
-                                    static_cast<VertexId>(n - 1));  // sizes n
+        if (!(ls >> p >> kind >> declared_n >> declared_m)) {
+          fail("malformed DIMACS 'p' line (line " + std::to_string(line_no) +
+               ")");
+        }
+        if (declared_n > std::numeric_limits<VertexId>::max()) {
+          fail("DIMACS vertex count " + std::to_string(declared_n) +
+               " exceeds the supported maximum " +
+               std::to_string(std::numeric_limits<VertexId>::max()) +
+               " (line " + std::to_string(line_no) + ")");
+        }
+        builder.ensure_vertices(static_cast<VertexId>(declared_n));
         saw_problem = true;
         break;
       }
       case 'e': {
+        if (!saw_problem) {
+          fail("DIMACS 'e' record before the 'p' line (line " +
+               std::to_string(line_no) + ")");
+        }
         std::istringstream ls(line);
         char e;
         std::uint64_t u, v;
-        if (!(ls >> e >> u >> v)) fail("malformed DIMACS 'e' line");
-        if (u == 0 || v == 0) fail("DIMACS ids are 1-based");
+        if (!(ls >> e >> u >> v)) {
+          fail("malformed DIMACS 'e' line (line " + std::to_string(line_no) +
+               ")");
+        }
+        if (u == 0 || v == 0) {
+          fail("DIMACS ids are 1-based (line " + std::to_string(line_no) +
+               ")");
+        }
+        if (u > declared_n || v > declared_n) {
+          fail("DIMACS edge (" + std::to_string(u) + ", " + std::to_string(v) +
+               ") exceeds the declared vertex count " +
+               std::to_string(declared_n) + " (line " +
+               std::to_string(line_no) + ")");
+        }
+        ++edge_records;
         builder.add_edge(static_cast<VertexId>(u - 1),
                          static_cast<VertexId>(v - 1));
         break;
@@ -70,7 +121,17 @@ Graph read_dimacs(std::istream& in) {
     }
   }
   if (!saw_problem) fail("missing DIMACS 'p' line");
-  return builder.build();
+  Graph g = builder.build();
+  // Wild-corpus files sometimes list both orientations or duplicate
+  // records, so accept when either the raw record count or the
+  // deduplicated edge count matches the header.
+  if (edge_records != declared_m && g.num_edges() != declared_m) {
+    fail("DIMACS header declares " + std::to_string(declared_m) +
+         " edges but the file has " + std::to_string(edge_records) +
+         " 'e' records (" + std::to_string(g.num_edges()) +
+         " distinct edges)");
+  }
+  return g;
 }
 
 Graph read_edge_list_file(const std::string& path) {
@@ -88,13 +149,23 @@ Graph read_graph_file(const std::string& path) {
   // Peek at the first non-empty line.
   std::string line;
   std::streampos start = in.tellg();
-  while (std::getline(in, line) && line.empty()) {
+  while (std::getline(in, line)) {
+    strip_cr(line);
+    if (!line.empty()) break;
   }
   in.clear();
   in.seekg(start);
-  if (!line.empty() && (line[0] == 'c' || line[0] == 'p')) {
-    return read_dimacs(in);
-  }
+  // DIMACS records: 'c' comments, the 'p' problem line, or — for header-
+  // less fragments — an 'e' edge record (a plain edge list line is purely
+  // numeric, so a leading 'e' is unambiguous).  Routing 'e' fragments to
+  // read_dimacs turns the old silent-empty-graph outcome into a clear
+  // "missing 'p' line" error.
+  const bool dimacs =
+      !line.empty() &&
+      (line[0] == 'c' || line[0] == 'p' ||
+       (line[0] == 'e' && line.size() > 1 && (line[1] == ' ' ||
+                                              line[1] == '\t')));
+  if (dimacs) return read_dimacs(in);
   return read_edge_list(in);
 }
 

@@ -16,15 +16,24 @@
 namespace lazymc::io {
 
 /// Reads a plain whitespace-separated edge list.  Lines starting with
-/// '#' or '%' are comments.  Vertex ids are 0-based.
+/// '#' or '%' are comments.  Vertex ids are 0-based.  CRLF line endings
+/// are accepted.  Ids beyond VertexId range throw instead of silently
+/// truncating.
 Graph read_edge_list(std::istream& in);
 Graph read_edge_list_file(const std::string& path);
 
-/// Reads a DIMACS "p edge" file ("c" comments, "e u v" edges, 1-based ids).
+/// Reads a DIMACS "p edge" file ("c" comments, "e u v" edges, 1-based
+/// ids).  CRLF line endings are accepted.  Throws std::runtime_error on a
+/// missing/duplicate/misplaced 'p' line, ids outside [1, n], a vertex
+/// count beyond VertexId range, or an edge count that disagrees with the
+/// header (both the raw 'e' record count and the deduplicated edge count
+/// are tried, so files listing both orientations still load).  Isolated
+/// vertices declared by the header but untouched by any 'e' record are
+/// preserved.
 Graph read_dimacs(std::istream& in);
 Graph read_dimacs_file(const std::string& path);
 
-/// Auto-detects DIMACS (leading 'c'/'p' records) vs plain edge list.
+/// Auto-detects DIMACS (leading 'c'/'p'/'e' records) vs plain edge list.
 Graph read_graph_file(const std::string& path);
 
 /// Writers (useful for exporting the synthetic suite).

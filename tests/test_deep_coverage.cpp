@@ -174,7 +174,9 @@ TEST(DeepKvc, CoverAtExactMinimumIsMinimal) {
     for (VertexId v : r.cover) in[v] = 1;
     for (std::size_t v = 0; v < 13; ++v) {
       for (std::size_t u = v + 1; u < 13; ++u) {
-        if (s.adj[v].test(u)) EXPECT_TRUE(in[v] || in[u]) << seed;
+        if (s.adj[v].test(u)) {
+          EXPECT_TRUE(in[v] || in[u]) << seed;
+        }
       }
     }
   }

@@ -1,0 +1,224 @@
+// Round-trip and robustness tests for the graph readers/writers, covering
+// the PR-1 bugfixes: explicit GraphBuilder::ensure_vertices sizing (no
+// dummy self-loop), DIMACS edge-count/id validation, format sniffing of
+// header-less 'e' fragments, and CRLF tolerance.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace lazymc {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);  // binary: keep \r intact
+  out << content;
+}
+
+TEST(Builder, EnsureVerticesSizesWithoutEdges) {
+  GraphBuilder b;
+  b.ensure_vertices(7);
+  EXPECT_EQ(b.num_vertices(), 7u);
+  EXPECT_EQ(b.num_pending_edges(), 0u);
+  Graph g = b.build();
+  EXPECT_EQ(g.num_vertices(), 7u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Builder, EnsureVerticesNeverShrinks) {
+  GraphBuilder b;
+  b.add_edge(0, 9);
+  b.ensure_vertices(3);
+  EXPECT_EQ(b.num_vertices(), 10u);
+  b.ensure_vertices(12);
+  EXPECT_EQ(b.build().num_vertices(), 12u);
+}
+
+// --- write -> read round-trips ---------------------------------------------
+
+TEST(RoundTrip, EdgeListPreservesStructure) {
+  Graph g = gen::gnp(60, 0.15, /*seed=*/7);
+  std::ostringstream out;
+  io::write_edge_list(g, out);
+  std::istringstream in(out.str());
+  Graph h = io::read_edge_list(in);
+  ASSERT_EQ(h.num_vertices(), g.num_vertices());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(h.degree(v), g.degree(v)) << "vertex " << v;
+  }
+}
+
+TEST(RoundTrip, DimacsPreservesStructure) {
+  Graph g = gen::planted_partition(6, 8, 0.9, 2.0, /*seed=*/11);
+  std::ostringstream out;
+  io::write_dimacs(g, out);
+  std::istringstream in(out.str());
+  Graph h = io::read_dimacs(in);
+  ASSERT_EQ(h.num_vertices(), g.num_vertices());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(h.degree(v), g.degree(v)) << "vertex " << v;
+  }
+}
+
+TEST(RoundTrip, FileLevelAutoDetect) {
+  Graph g = gen::barabasi_albert(80, 3, /*seed=*/5);
+  std::string edges = temp_path("roundtrip.edges");
+  std::string clq = temp_path("roundtrip.clq");
+  io::write_edge_list_file(g, edges);
+  io::write_dimacs_file(g, clq);
+  Graph from_edges = io::read_graph_file(edges);
+  Graph from_clq = io::read_graph_file(clq);
+  EXPECT_EQ(from_edges.num_vertices(), g.num_vertices());
+  EXPECT_EQ(from_edges.num_edges(), g.num_edges());
+  EXPECT_EQ(from_clq.num_vertices(), g.num_vertices());
+  EXPECT_EQ(from_clq.num_edges(), g.num_edges());
+  std::remove(edges.c_str());
+  std::remove(clq.c_str());
+}
+
+// --- isolated top vertices (the old dummy-self-loop hack's blind spot) ------
+
+TEST(Dimacs, IsolatedTopVertexSurvives) {
+  std::istringstream in("p edge 9 2\ne 1 2\ne 2 3\n");
+  Graph g = io::read_dimacs(in);
+  EXPECT_EQ(g.num_vertices(), 9u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(8), 0u);
+}
+
+TEST(Dimacs, EdgelessGraphKeepsDeclaredVertices) {
+  std::istringstream in("p edge 4 0\n");
+  Graph g = io::read_dimacs(in);
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+// --- DIMACS validation ------------------------------------------------------
+
+TEST(Dimacs, VertexIdAboveDeclaredCountThrows) {
+  std::istringstream in("p edge 3 1\ne 1 4\n");
+  EXPECT_THROW(io::read_dimacs(in), std::runtime_error);
+}
+
+TEST(Dimacs, EdgeCountMismatchThrows) {
+  std::istringstream too_few("p edge 4 3\ne 1 2\n");
+  EXPECT_THROW(io::read_dimacs(too_few), std::runtime_error);
+  std::istringstream too_many("p edge 4 1\ne 1 2\ne 3 4\n");
+  EXPECT_THROW(io::read_dimacs(too_many), std::runtime_error);
+}
+
+TEST(Dimacs, BothOrientationsAndDuplicatesStillLoad) {
+  // Wild-corpus converters often emit both orientations of each edge;
+  // the header counts undirected edges.  The deduplicated count matches,
+  // so this must load rather than fail the record-count check.
+  std::istringstream in(
+      "p edge 3 3\n"
+      "e 1 2\ne 2 1\n"
+      "e 2 3\ne 3 2\n"
+      "e 1 3\ne 3 1\n");
+  Graph g = io::read_dimacs(in);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(Dimacs, VertexCountBeyondIdRangeThrows) {
+  // 2^32 + 1 would silently truncate to 1 via the VertexId cast.
+  std::istringstream in("p edge 4294967297 1\ne 4294967297 1\n");
+  EXPECT_THROW(io::read_dimacs(in), std::runtime_error);
+}
+
+TEST(Dimacs, EdgeBeforeProblemLineThrows) {
+  std::istringstream in("e 1 2\np edge 3 1\n");
+  EXPECT_THROW(io::read_dimacs(in), std::runtime_error);
+}
+
+TEST(Dimacs, DuplicateProblemLineThrows) {
+  std::istringstream in("p edge 3 1\np edge 3 1\ne 1 2\n");
+  EXPECT_THROW(io::read_dimacs(in), std::runtime_error);
+}
+
+// --- format sniffing --------------------------------------------------------
+
+TEST(Sniffing, HeaderlessDimacsFragmentIsNotSilentlyEmpty) {
+  // Before the fix this parsed as an edge list whose lines all failed to
+  // parse, yielding an empty graph with no error.
+  std::string path = temp_path("fragment.clq");
+  write_file(path, "e 1 2\ne 2 3\ne 1 3\n");
+  EXPECT_THROW(io::read_graph_file(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Sniffing, NumericFirstLineStaysEdgeList) {
+  std::string path = temp_path("plain.edges");
+  write_file(path, "0 1\n1 2\n");
+  Graph g = io::read_graph_file(path);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  std::remove(path.c_str());
+}
+
+// --- CRLF -------------------------------------------------------------------
+
+TEST(Crlf, DimacsParsesIdenticallyToUnix) {
+  std::string path = temp_path("crlf.clq");
+  write_file(path, "c comment\r\np edge 5 3\r\ne 1 2\r\ne 2 3\r\ne 4 5\r\n");
+  Graph g = io::read_graph_file(path);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(3, 4));
+  std::remove(path.c_str());
+}
+
+TEST(Crlf, EdgeListParsesIdenticallyToUnix) {
+  std::string path = temp_path("crlf.edges");
+  write_file(path, "# header\r\n0 1\r\n\r\n1 2\r\n");
+  Graph g = io::read_graph_file(path);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  std::remove(path.c_str());
+}
+
+// --- self-loops in edge lists ----------------------------------------------
+
+TEST(EdgeList, SelfLoopsAreDroppedNotCounted) {
+  std::istringstream in("0 0\n0 1\n2 2\n1 2\n");
+  Graph g = io::read_edge_list(in);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_FALSE(g.has_edge(0, 0));
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 1u);
+}
+
+TEST(EdgeList, IdBeyondVertexIdRangeThrows) {
+  // 2^32 would silently truncate to 0; 2^32 - 1 would overflow the
+  // builder's count (id + 1).  Both must be rejected.
+  std::istringstream wraps("4294967296 1\n");
+  EXPECT_THROW(io::read_edge_list(wraps), std::runtime_error);
+  std::istringstream overflows("4294967295 1\n");
+  EXPECT_THROW(io::read_edge_list(overflows), std::runtime_error);
+}
+
+TEST(EdgeList, PureSelfLoopStillSizesGraph) {
+  // A self-loop on the max vertex must still grow the vertex count even
+  // though the edge itself is dropped.
+  std::istringstream in("0 1\n5 5\n");
+  Graph g = io::read_edge_list(in);
+  EXPECT_EQ(g.num_vertices(), 6u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(5), 0u);
+}
+
+}  // namespace
+}  // namespace lazymc
