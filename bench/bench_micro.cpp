@@ -1,16 +1,21 @@
 // Microbenchmarks (google-benchmark) for the data-structure substrates:
 // hopscotch set probes vs sorted binary search, intersection kernels with
-// and without early exits, and lazy-graph construction costs.
+// and without early exits, lazy-graph construction costs, and the
+// parallel-runtime schedulers (barriered flat parallel_for vs the sharded
+// work-queue drain used by systematic_search).
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <vector>
 
 #include "graph/generators.hpp"
+#include "graph/suite.hpp"
 #include "hashset/hopscotch_set.hpp"
 #include "intersect/intersect.hpp"
 #include "kcore/kcore.hpp"
 #include "kcore/order.hpp"
 #include "lazygraph/lazy_graph.hpp"
+#include "support/parallel.hpp"
 #include "support/random.hpp"
 
 namespace lazymc {
@@ -141,6 +146,113 @@ void BM_LazyGraphConstructOne(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LazyGraphConstructOne);
+
+// --- scheduler shoot-out ---------------------------------------------------
+// Replays the shape of the systematic phase on a medium suite graph: one
+// simulated probe per vertex, cost growing with the vertex's coreness
+// (high-coreness neighborhoods survive more filter rounds).  The baseline
+// issues one barriered parallel_for per coreness level, exactly like the
+// pre-sharded systematic_search; the contender deals level chunks into a
+// WorkQueue and drains it with steal-half balancing and no barriers.
+// On >= 8 threads the tail of each level leaves most of the barriered
+// pool idle, which is where the queue pulls ahead.
+
+struct SchedWorkload {
+  // levels[k] = vertices of coreness k (descending visit priority).
+  std::vector<std::vector<VertexId>> levels;
+  std::size_t num_vertices = 0;
+};
+
+const SchedWorkload& sched_workload() {
+  static const SchedWorkload w = [] {
+    Graph g = suite::make_instance("sinaweibo", suite::Scale::kMedium).graph;
+    auto core = kcore::coreness(g);
+    SchedWorkload w;
+    w.levels.resize(static_cast<std::size_t>(core.degeneracy) + 1);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      w.levels[core.coreness[v]].push_back(v);
+    }
+    w.num_vertices = g.num_vertices();
+    return w;
+  }();
+  return w;
+}
+
+/// Simulated neighbor_search probe: a short LCG spin whose length scales
+/// with the coreness level, so per-level cost is skewed like real work.
+inline std::uint64_t simulated_probe(VertexId v, std::size_t level) {
+  std::uint64_t acc = v + 1;
+  const std::uint64_t iters = 8 * (level + 1);
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    acc = acc * 6364136223846793005ULL + 1442695040888963407ULL;
+  }
+  return acc;
+}
+
+void BM_SchedulerBarrieredParfor(benchmark::State& state) {
+  const SchedWorkload& w = sched_workload();
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    for (std::size_t k = w.levels.size(); k-- > 0;) {
+      const std::vector<VertexId>& level = w.levels[k];
+      if (level.empty()) continue;
+      pool.parallel_for(0, level.size(), [&](std::size_t i) {
+        benchmark::DoNotOptimize(simulated_probe(level[i], k));
+      }, 1);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.num_vertices));
+}
+BENCHMARK(BM_SchedulerBarrieredParfor)->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SchedulerShardedQueue(benchmark::State& state) {
+  const SchedWorkload& w = sched_workload();
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  const std::size_t participants = pool.num_threads();
+  struct Chunk {
+    std::uint32_t level;
+    std::uint32_t begin;
+    std::uint32_t end;
+  };
+  // Chunking mirrors systematic_search.
+  std::vector<Chunk> worklist;
+  for (std::size_t k = w.levels.size(); k-- > 0;) {
+    const std::size_t size = w.levels[k].size();
+    if (size == 0) continue;
+    std::size_t chunk = (size + 4 * participants - 1) / (4 * participants);
+    chunk = std::clamp<std::size_t>(chunk, 1, 64);
+    for (std::size_t b = 0; b < size; b += chunk) {
+      worklist.push_back({static_cast<std::uint32_t>(k),
+                          static_cast<std::uint32_t>(b),
+                          static_cast<std::uint32_t>(std::min(size, b + chunk))});
+    }
+  }
+  for (auto _ : state) {
+    WorkQueue<Chunk> queue(participants);
+    for (std::size_t p = 0; p < participants; ++p) {
+      std::vector<Chunk> batch;
+      for (std::size_t i = p; i < worklist.size(); i += participants) {
+        batch.push_back(worklist[i]);
+      }
+      queue.push_batch(p, batch.begin(), batch.end());
+    }
+    pool.parallel_invoke_all([&](std::size_t p) {
+      Chunk c;
+      while (queue.pop(p, c)) {
+        const std::vector<VertexId>& level = w.levels[c.level];
+        for (std::uint32_t i = c.begin; i < c.end; ++i) {
+          benchmark::DoNotOptimize(simulated_probe(level[i], c.level));
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.num_vertices));
+}
+BENCHMARK(BM_SchedulerShardedQueue)->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_EagerRelabelWholeGraph(benchmark::State& state) {
   Graph g = gen::rmat(12, 8, 0.57, 0.19, 0.19, 11);

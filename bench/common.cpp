@@ -5,8 +5,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 
+#include "support/json.hpp"
 #include "support/parallel.hpp"
 #include "support/timer.hpp"
 
@@ -17,12 +19,88 @@ namespace {
   std::fprintf(stderr,
                "unknown flag: %s\n"
                "usage: bench --scale=tiny|small|medium --graphs=a,b,c "
-               "--repeats=N --timeout=SECONDS --threads=N\n",
+               "--repeats=N --timeout=SECONDS --threads=N --json=PATH\n",
                bad_flag.c_str());
   std::exit(2);
 }
 
+// --- JSON export registry --------------------------------------------------
+// Tables are recorded by Table::print() and flushed once at exit so every
+// bench binary gains --json without touching its own code.
+
+struct TableDump {
+  std::string title;
+  std::vector<std::string> headers;
+  std::vector<std::vector<std::string>> rows;
+};
+
+std::string g_json_path;                 // empty = export disabled
+std::vector<TableDump>* g_tables = nullptr;
+
+/// True when `cell` is entirely a finite JSON-compatible number.
+bool parse_number(const std::string& cell, double& out) {
+  if (cell.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(cell.c_str(), &end);
+  return end == cell.c_str() + cell.size() && std::isfinite(out);
+}
+
+void flush_json_tables() {
+  if (g_json_path.empty() || g_tables == nullptr) return;
+  std::ofstream out(g_json_path);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot write JSON to %s\n",
+                 g_json_path.c_str());
+    return;
+  }
+  JsonWriter w(out);
+  w.open();
+  w.field("schema", "lazymc-bench-tables/1");
+  w.open_array("tables");
+  for (const TableDump& t : *g_tables) {
+    w.open();
+    w.field("title", t.title);
+    w.open_array("headers");
+    for (const std::string& h : t.headers) w.value(h);
+    w.close_array();
+    w.open_array("rows");
+    for (const auto& row : t.rows) {
+      w.open_array();
+      for (const std::string& cell : row) {
+        double num = 0;
+        if (parse_number(cell, num)) {
+          w.value(num);
+        } else {
+          w.value(cell);
+        }
+      }
+      w.close_array();
+    }
+    w.close_array();
+    w.close();
+  }
+  w.close_array();
+  w.close();
+  out << "\n";
+}
+
+void record_table(const std::string& title,
+                  const std::vector<std::string>& headers,
+                  const std::vector<std::vector<std::string>>& rows) {
+  if (g_json_path.empty()) return;
+  if (g_tables == nullptr) g_tables = new std::vector<TableDump>();
+  std::string name = title;
+  if (name.empty()) name = "table_" + std::to_string(g_tables->size() + 1);
+  g_tables->push_back(TableDump{name, headers, rows});
+}
+
 }  // namespace
+
+void enable_json_export(const std::string& path) {
+  bool first = g_json_path.empty() && !path.empty();
+  g_json_path = path;
+  if (first) std::atexit(flush_json_tables);
+}
 
 Options parse_options(int argc, char** argv, Options defaults) {
   Options opt = std::move(defaults);
@@ -55,11 +133,14 @@ Options parse_options(int argc, char** argv, Options defaults) {
     } else if (arg.rfind("--threads=", 0) == 0) {
       opt.threads = static_cast<std::size_t>(
           std::atoll(value_of("--threads=").c_str()));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      opt.json_path = value_of("--json=");
     } else {
       usage_and_exit(arg);
     }
   }
   if (opt.threads > 0) set_num_threads(opt.threads);
+  if (!opt.json_path.empty()) enable_json_export(opt.json_path);
   return opt;
 }
 
@@ -97,11 +178,15 @@ Timing time_runs(int repeats, const std::function<void()>& fn) {
 
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
 
+Table::Table(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers)) {}
+
 void Table::add_row(std::vector<std::string> cells) {
   rows_.push_back(std::move(cells));
 }
 
 void Table::print() const {
+  record_table(title_, headers_, rows_);
   std::vector<std::size_t> widths(headers_.size(), 0);
   for (std::size_t c = 0; c < headers_.size(); ++c) {
     widths[c] = headers_[c].size();

@@ -1,5 +1,5 @@
 // Shared benchmark-harness utilities: suite loading, timing with repeats,
-// ASCII table output, and a tiny flag parser.
+// ASCII table output (with optional JSON export), and a tiny flag parser.
 //
 // Every bench binary accepts:
 //   --scale=tiny|small|medium   suite scale (default: small, so the whole
@@ -9,6 +9,11 @@
 //   --repeats=N                 timing repetitions (default 3)
 //   --timeout=SECONDS           per-solve timeout (default 60)
 //   --threads=N                 worker threads (default: hardware)
+//   --json=PATH                 additionally write every printed table to
+//                               PATH as machine-readable JSON (schema
+//                               "lazymc-bench-tables/1"; numeric-looking
+//                               cells become JSON numbers) so figure/table
+//                               sweeps feed plotting pipelines directly
 #pragma once
 
 #include <functional>
@@ -25,6 +30,7 @@ struct Options {
   int repeats = 3;
   double timeout = 60.0;
   std::size_t threads = 0;  // 0 = hardware default
+  std::string json_path;    // empty = no JSON export
 };
 
 /// Parses the common flags; unknown flags abort with a usage message.
@@ -41,17 +47,27 @@ struct Timing {
 };
 Timing time_runs(int repeats, const std::function<void()>& fn);
 
-/// Right-aligned ASCII table.
+/// Right-aligned ASCII table.  When JSON export is enabled (--json=PATH,
+/// or enable_json_export), every print() also records the table; the
+/// accumulated tables are written at process exit.
 class Table {
  public:
   explicit Table(std::vector<std::string> headers);
+  /// Named variant: `title` identifies the table in the JSON export.
+  Table(std::string title, std::vector<std::string> headers);
   void add_row(std::vector<std::string> cells);
   void print() const;
 
  private:
+  std::string title_;
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Turns on JSON export of all subsequently printed tables to `path`
+/// (written once, at process exit).  parse_options calls this for
+/// --json=PATH; benches with custom flag handling may call it directly.
+void enable_json_export(const std::string& path);
 
 /// Formats a double with `digits` decimals; "x" for NaN (timeouts).
 std::string fmt(double value, int digits = 3);

@@ -3,99 +3,9 @@
 #include <iomanip>
 #include <ostream>
 
+#include "support/json.hpp"
+
 namespace lazymc::cli {
-namespace {
-
-// Minimal JSON object writer: tracks comma placement and nesting so the
-// emitters below read like the output's shape.  All values here are
-// numbers, bools, short strings, or arrays of vertex ids.
-class JsonWriter {
- public:
-  explicit JsonWriter(std::ostream& out) : out_(out) {
-    out_ << std::setprecision(9);
-  }
-
-  void open(const std::string& key = "") {
-    comma();
-    label(key);
-    out_ << '{';
-    first_ = true;
-  }
-  void close() {
-    out_ << '}';
-    first_ = false;
-  }
-
-  void field(const std::string& key, const std::string& value) {
-    comma();
-    label(key);
-    string(value);
-  }
-  void field(const std::string& key, const char* value) {
-    field(key, std::string(value));
-  }
-  void field(const std::string& key, double value) {
-    comma();
-    label(key);
-    out_ << value;
-  }
-  void field(const std::string& key, bool value) {
-    comma();
-    label(key);
-    out_ << (value ? "true" : "false");
-  }
-  template <typename Int>
-  void field(const std::string& key, Int value) {
-    comma();
-    label(key);
-    out_ << static_cast<std::uint64_t>(value);
-  }
-  void field(const std::string& key, const std::vector<VertexId>& values) {
-    comma();
-    label(key);
-    out_ << '[';
-    for (std::size_t i = 0; i < values.size(); ++i) {
-      if (i) out_ << ',';
-      out_ << values[i];
-    }
-    out_ << ']';
-  }
-
- private:
-  void comma() {
-    if (!first_) out_ << ',';
-    first_ = false;
-  }
-  void label(const std::string& key) {
-    if (key.empty()) return;
-    string(key);
-    out_ << ':';
-  }
-  void string(const std::string& s) {
-    out_ << '"';
-    for (char c : s) {
-      switch (c) {
-        case '"': out_ << "\\\""; break;
-        case '\\': out_ << "\\\\"; break;
-        case '\n': out_ << "\\n"; break;
-        case '\t': out_ << "\\t"; break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            out_ << "\\u" << std::hex << std::setw(4) << std::setfill('0')
-                 << static_cast<int>(c) << std::dec << std::setfill(' ');
-          } else {
-            out_ << c;
-          }
-      }
-    }
-    out_ << '"';
-  }
-
-  std::ostream& out_;
-  bool first_ = true;
-};
-
-}  // namespace
 
 void render_text(const RunReport& r, std::ostream& out) {
   out << "graph:    " << r.graph << "  (" << r.num_vertices << " vertices, "
@@ -137,7 +47,7 @@ void render_text(const RunReport& r, std::ostream& out) {
       << " pass1=" << s.pass_filter1 << " pass2=" << s.pass_filter2
       << " pass3=" << s.pass_filter3 << " solved-mc=" << s.solved_mc
       << " solved-vc=" << s.solved_vc << " vc-fallbacks=" << s.vc_fallbacks
-      << "\n";
+      << " retired-chunks=" << s.retired_chunks << "\n";
   out << "          mc-nodes=" << s.mc_nodes << " vc-nodes=" << s.vc_nodes
       << " filter=" << s.filter_seconds << "s mc=" << s.mc_seconds
       << "s vc=" << s.vc_seconds << "s\n";
@@ -184,6 +94,7 @@ void render_json(const RunReport& r, std::ostream& out) {
     w.field("solved_mc", s.solved_mc);
     w.field("solved_vc", s.solved_vc);
     w.field("vc_fallbacks", s.vc_fallbacks);
+    w.field("retired_chunks", s.retired_chunks);
     w.field("filter_seconds", s.filter_seconds);
     w.field("mc_seconds", s.mc_seconds);
     w.field("vc_seconds", s.vc_seconds);

@@ -9,20 +9,28 @@ namespace lazymc {
 
 DenseSubgraph DenseSubgraph::complement() const {
   DenseSubgraph c;
-  c.vertices = vertices;
-  std::size_t n = size();
-  c.adj.assign(n, DynamicBitset(n));
-  EdgeId m = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      if (i != j && !adj[i].test(j)) {
-        c.adj[i].set(j);
-        if (i < j) ++m;
-      }
-    }
-  }
-  c.num_edges = m;
+  complement_into(c);
   return c;
+}
+
+void DenseSubgraph::complement_into(DenseSubgraph& out) const {
+  const std::size_t n = size();
+  out.reset_pooled(n);
+  out.vertices.assign(vertices.begin(), vertices.end());
+  // Word-wise NOT of each row, masking the diagonal and the tail bits
+  // beyond n; the edge count falls out of popcounts (degree sum / 2).
+  std::size_t degree_sum = 0;
+  const std::size_t words = (n + 63) / 64;
+  for (std::size_t i = 0; i < n; ++i) {
+    DynamicBitset& row = out.adj[i];
+    for (std::size_t w = 0; w < words; ++w) row.word(w) = ~adj[i].word(w);
+    row.reset(i);
+    if (n % 64 != 0) {
+      row.word(words - 1) &= (~0ULL) >> (64 - n % 64);
+    }
+    degree_sum += row.count();
+  }
+  out.num_edges = static_cast<EdgeId>(degree_sum / 2);
 }
 
 DenseSubgraph induce_dense(const Graph& g, std::span<const VertexId> verts) {

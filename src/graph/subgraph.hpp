@@ -36,6 +36,20 @@ struct DenseSubgraph {
 
   /// Complement adjacency (self-loops excluded), same vertex order.
   DenseSubgraph complement() const;
+
+  /// Complement into `out`, reusing out's row storage (scratch-arena
+  /// path: no allocation once out's capacity covers this size).  `out`
+  /// must not alias `this`.
+  void complement_into(DenseSubgraph& out) const;
+
+  /// Resets to n vertices with empty rows, reusing existing storage.
+  /// `adj` may retain more than n rows; only rows [0, n) are meaningful.
+  void reset_pooled(std::size_t n) {
+    vertices.clear();
+    if (adj.size() < n) adj.resize(n);
+    for (std::size_t i = 0; i < n; ++i) adj[i].reinit(n);
+    num_edges = 0;
+  }
 };
 
 /// Extracts G[verts].  `verts` must contain distinct vertex ids; local ids

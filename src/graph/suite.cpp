@@ -1,10 +1,16 @@
 #include "graph/suite.hpp"
 
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
 #include <functional>
 #include <stdexcept>
+#include <string>
 
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
+#include "graph/io.hpp"
 
 namespace lazymc::suite {
 namespace {
@@ -278,6 +284,99 @@ const std::vector<Spec>& specs() {
   return kSpecs;
 }
 
+// --- disk cache ------------------------------------------------------------
+// Generators are deterministic but not free: make_suite(kMedium) builds
+// ~28 graphs of up to ~40k vertices on every bench invocation.  Since the
+// io layer round-trips DIMACS losslessly and GraphBuilder canonicalizes
+// adjacency (sorted, deduplicated), a cached instance is bit-identical to
+// a regenerated one, so instances are written once and reread afterwards.
+//
+// Cache key: instance name + scale + kCacheFormatVersion (bump the
+// version whenever a generator or suite spec changes — the per-instance
+// seeds live in the specs, so name/scale/version pins the content).
+//
+// LAZYMC_SUITE_CACHE env:
+//   unset        -> ${XDG_CACHE_HOME:-$HOME/.cache}/lazymc-suite
+//   a path       -> that directory
+//   "off" or "0" -> caching disabled
+// Any IO failure silently falls back to regeneration.
+
+constexpr int kCacheFormatVersion = 1;
+
+// Exhaustive on purpose (no default): adding a Scale without extending
+// this mapping must fail the -Wswitch build rather than silently reuse
+// another scale's cache files.
+const char* scale_name(Scale s) {
+  switch (s) {
+    case Scale::kTiny: return "tiny";
+    case Scale::kSmall: return "small";
+    case Scale::kMedium: return "medium";
+  }
+  return "unknown";  // unreachable for valid enum values
+}
+
+/// Resolved cache directory; empty when caching is disabled.
+std::filesystem::path cache_dir() {
+  static const std::filesystem::path dir = [] {
+    std::filesystem::path d;
+    if (const char* env = std::getenv("LAZYMC_SUITE_CACHE")) {
+      std::string v = env;
+      if (v.empty() || v == "off" || v == "0" || v == "none") return d;
+      d = v;
+    } else if (const char* xdg = std::getenv("XDG_CACHE_HOME")) {
+      d = std::filesystem::path(xdg) / "lazymc-suite";
+    } else if (const char* home = std::getenv("HOME")) {
+      d = std::filesystem::path(home) / ".cache" / "lazymc-suite";
+    } else {
+      return d;  // nowhere sensible to cache
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(d, ec);
+    if (ec) d.clear();
+    return d;
+  }();
+  return dir;
+}
+
+std::filesystem::path cache_path(const std::string& name, Scale scale) {
+  return cache_dir() /
+         (name + "-" + scale_name(scale) + "-v" +
+          std::to_string(kCacheFormatVersion) + ".clq");
+}
+
+Graph build_cached(const Spec& spec, Scale scale) {
+  const std::filesystem::path dir = cache_dir();
+  if (dir.empty()) return spec.build(scale);
+
+  const std::filesystem::path path = cache_path(spec.name, scale);
+  {
+    std::error_code ec;
+    if (std::filesystem::exists(path, ec)) {
+      try {
+        return io::read_dimacs_file(path.string());
+      } catch (const std::exception&) {
+        // Corrupt or stale cache entry: fall through and rewrite it.
+      }
+    }
+  }
+
+  Graph g = spec.build(scale);
+  // Write-to-temp + rename so concurrent bench/test processes never
+  // observe a torn file (rename is atomic within one filesystem).
+  std::filesystem::path tmp = path;
+  tmp += ".tmp" + std::to_string(static_cast<unsigned long>(::getpid()));
+  try {
+    io::write_dimacs_file(g, tmp.string());
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) std::filesystem::remove(tmp, ec);
+  } catch (const std::exception&) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+  }
+  return g;
+}
+
 }  // namespace
 
 std::vector<std::string> instance_names() {
@@ -290,7 +389,7 @@ std::vector<std::string> instance_names() {
 Instance make_instance(const std::string& name, Scale scale) {
   for (const Spec& s : specs()) {
     if (name == s.name) {
-      return Instance{s.name, s.regime, s.zero_gap, s.build(scale)};
+      return Instance{s.name, s.regime, s.zero_gap, build_cached(s, scale)};
     }
   }
   throw std::invalid_argument("unknown suite instance: " + name);
@@ -300,7 +399,7 @@ std::vector<Instance> make_suite(Scale scale) {
   std::vector<Instance> out;
   out.reserve(specs().size());
   for (const Spec& s : specs()) {
-    out.push_back(Instance{s.name, s.regime, s.zero_gap, s.build(scale)});
+    out.push_back(Instance{s.name, s.regime, s.zero_gap, build_cached(s, scale)});
   }
   return out;
 }

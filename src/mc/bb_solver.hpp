@@ -12,9 +12,29 @@
 #include <vector>
 
 #include "graph/subgraph.hpp"
+#include "mc/greedy_color.hpp"
 #include "support/control.hpp"
 
 namespace lazymc::mc {
+
+/// Reusable search-state for solve_mc_dense: one frame per recursion
+/// depth (coloring + candidate bitsets) plus the coloring buffers and the
+/// clique-under-construction vectors.  Keep one instance per thread and
+/// pass it to every call; once its capacities reach the high-water mark,
+/// repeated solves perform no heap allocation (except to return an
+/// improving clique, which is rare by construction).
+struct MCScratch {
+  struct Frame {
+    Coloring coloring;
+    DynamicBitset rest;
+    DynamicBitset next;
+  };
+  std::vector<Frame> frames;
+  ColorScratch color;
+  DynamicBitset root;
+  std::vector<VertexId> best;
+  std::vector<VertexId> current;
+};
 
 struct BBResult {
   /// Largest clique found with size > lower_bound, in *local* subgraph
@@ -37,5 +57,10 @@ struct BBOptions {
 
 /// Exact maximum clique of `g` subject to the options above.
 BBResult solve_mc_dense(const DenseSubgraph& g, const BBOptions& options);
+
+/// Scratch-arena variant: identical result, but all intermediate state
+/// lives in (and is recycled through) `scratch`.
+BBResult solve_mc_dense(const DenseSubgraph& g, const BBOptions& options,
+                        MCScratch& scratch);
 
 }  // namespace lazymc::mc

@@ -2,10 +2,13 @@
 
 namespace lazymc::mc {
 
-Coloring greedy_color(const DenseSubgraph& g, const DynamicBitset& p) {
-  Coloring out;
-  DynamicBitset uncolored = p;
-  DynamicBitset candidates(p.size());
+void greedy_color_into(const DenseSubgraph& g, const DynamicBitset& p,
+                       ColorScratch& scratch, Coloring& out) {
+  out.order.clear();
+  out.color.clear();
+  DynamicBitset& uncolored = scratch.uncolored;
+  DynamicBitset& candidates = scratch.candidates;
+  uncolored = p;
   VertexId color = 0;
   std::size_t total = p.count();
   out.order.reserve(total);
@@ -24,12 +27,20 @@ Coloring greedy_color(const DenseSubgraph& g, const DynamicBitset& p) {
     }
   }
   out.num_colors = color;
+}
+
+Coloring greedy_color(const DenseSubgraph& g, const DynamicBitset& p) {
+  ColorScratch scratch;
+  Coloring out;
+  greedy_color_into(g, p, scratch, out);
   return out;
 }
 
-VertexId greedy_color_count(const DenseSubgraph& g, const DynamicBitset& p) {
-  DynamicBitset uncolored = p;
-  DynamicBitset candidates(p.size());
+VertexId greedy_color_count(const DenseSubgraph& g, const DynamicBitset& p,
+                            ColorScratch& scratch) {
+  DynamicBitset& uncolored = scratch.uncolored;
+  DynamicBitset& candidates = scratch.candidates;
+  uncolored = p;
   VertexId color = 0;
   while (uncolored.any()) {
     ++color;
@@ -41,6 +52,11 @@ VertexId greedy_color_count(const DenseSubgraph& g, const DynamicBitset& p) {
     }
   }
   return color;
+}
+
+VertexId greedy_color_count(const DenseSubgraph& g, const DynamicBitset& p) {
+  ColorScratch scratch;
+  return greedy_color_count(g, p, scratch);
 }
 
 }  // namespace lazymc::mc

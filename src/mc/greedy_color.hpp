@@ -20,11 +20,28 @@ struct Coloring {
   VertexId num_colors = 0;
 };
 
+/// Reusable buffers for the coloring routines.  Thread through repeated
+/// calls (one instance per thread) so steady-state colorings allocate
+/// nothing once capacities have grown to the high-water mark.
+struct ColorScratch {
+  DynamicBitset uncolored;
+  DynamicBitset candidates;
+};
+
 /// Greedy coloring of the vertices in `p` (a bitset over g's local ids).
 /// O(|p| * colors * words).  Deterministic given the iteration order.
 Coloring greedy_color(const DenseSubgraph& g, const DynamicBitset& p);
 
+/// Scratch-arena variant: writes into `out` (cleared first), reusing its
+/// vectors and the scratch bitsets.
+void greedy_color_into(const DenseSubgraph& g, const DynamicBitset& p,
+                       ColorScratch& scratch, Coloring& out);
+
 /// Only the number of colors (cheaper when the order is not needed).
 VertexId greedy_color_count(const DenseSubgraph& g, const DynamicBitset& p);
+
+/// Scratch-arena variant of greedy_color_count.
+VertexId greedy_color_count(const DenseSubgraph& g, const DynamicBitset& p,
+                            ColorScratch& scratch);
 
 }  // namespace lazymc::mc

@@ -87,6 +87,7 @@ LazyMCResult lazy_mc(const Graph& g, const LazyMCConfig& config) {
   result.search.solved_mc = stats.solved_mc.load();
   result.search.solved_vc = stats.solved_vc.load();
   result.search.vc_fallbacks = stats.vc_fallbacks.load();
+  result.search.retired_chunks = stats.retired_chunks.load();
   result.search.filter_seconds = stats.filter_seconds();
   result.search.mc_seconds = stats.mc_seconds();
   result.search.vc_seconds = stats.vc_seconds();

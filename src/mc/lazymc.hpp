@@ -86,6 +86,7 @@ struct SearchStatsSnapshot {
   std::uint64_t solved_mc = 0;
   std::uint64_t solved_vc = 0;
   std::uint64_t vc_fallbacks = 0;
+  std::uint64_t retired_chunks = 0;
   double filter_seconds = 0;
   double mc_seconds = 0;
   double vc_seconds = 0;

@@ -1,12 +1,11 @@
 #include "mc/neighbor_search.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "graph/subgraph.hpp"
-#include "mc/greedy_color.hpp"
 #include "support/parallel.hpp"
 #include "support/timer.hpp"
-#include "vc/mc_via_vc.hpp"
 
 namespace lazymc::mc {
 namespace {
@@ -15,50 +14,65 @@ std::uint64_t to_ns(double seconds) {
   return static_cast<std::uint64_t>(seconds * 1e9);
 }
 
-/// Extracts the dense subgraph induced by `members` (relabelled ids) using
-/// the lazy graph's membership structures rather than the base CSR: this
-/// honours construction-time filtering and builds hash sets only for the
-/// few vertices that reach a detailed search.
-DenseSubgraph induce_from_lazy(LazyGraph& h,
-                               const std::vector<VertexId>& members) {
-  DenseSubgraph s;
-  s.vertices = members;
+/// Extracts the dense subgraph induced by `members` (relabelled ids) into
+/// the pooled `out`, using the lazy graph's membership structures rather
+/// than the base CSR: this honours construction-time filtering and builds
+/// hash sets only for the few vertices that reach a detailed search.
+void induce_from_lazy(LazyGraph& h, const std::vector<VertexId>& members,
+                      DenseSubgraph& out) {
   const std::size_t n = members.size();
-  s.adj.assign(n, DynamicBitset(n));
+  out.reset_pooled(n);
+  out.vertices.assign(members.begin(), members.end());
   EdgeId m = 0;
   for (std::size_t i = 0; i < n; ++i) {
     NeighborhoodView view = h.membership(members[i]);
     for (std::size_t j = i + 1; j < n; ++j) {
       if (view.contains(members[j])) {
-        s.adj[i].set(j);
-        s.adj[j].set(i);
+        out.adj[i].set(j);
+        out.adj[j].set(i);
         ++m;
       }
     }
   }
-  s.num_edges = m;
-  return s;
+  out.num_edges = m;
 }
+
+/// One unit of systematic-search work: the vertices [begin, end) of a
+/// single coreness level (so the whole chunk dies together when the
+/// incumbent outgrows `coreness` by claim time).
+struct LevelChunk {
+  VertexId begin = 0;
+  VertexId end = 0;
+  VertexId coreness = 0;
+};
 
 }  // namespace
 
 void neighbor_search(LazyGraph& h, VertexId v, Incumbent& incumbent,
-                     const NeighborSearchOptions& options,
-                     SearchStats& stats) {
+                     const NeighborSearchOptions& options, SearchStats& stats,
+                     SearchScratch& scratch) {
   WallTimer timer;
   stats.evaluated.fetch_add(1, std::memory_order_relaxed);
 
   const auto& order = h.order();
-  auto publish = [&](const std::vector<VertexId>& relabelled_clique) {
-    std::vector<VertexId> orig;
-    orig.reserve(relabelled_clique.size());
-    for (VertexId u : relabelled_clique) orig.push_back(order.new_to_orig[u]);
+  auto publish = [&](VertexId head, const std::vector<VertexId>& local,
+                     const std::vector<VertexId>& local_to_relabelled) {
+    // Improving cliques are rare; this staging buffer is the only path
+    // that may allocate in steady state, and only while the incumbent is
+    // still growing.
+    std::vector<VertexId>& orig = scratch.clique;
+    orig.clear();
+    orig.push_back(order.new_to_orig[head]);
+    for (VertexId u : local) {
+      orig.push_back(order.new_to_orig[local_to_relabelled[u]]);
+    }
     incumbent.offer(orig);
   };
 
   // ---- filter 1: coreness (Algorithm 8 line 2) -------------------------
   VertexId bound = incumbent.size();
-  std::vector<VertexId> n_set;
+  std::vector<VertexId>& n_set = scratch.n_set;
+  n_set.clear();
   {
     auto right = h.right_neighborhood(v);
     n_set.reserve(right.size());
@@ -74,8 +88,9 @@ void neighbor_search(LazyGraph& h, VertexId v, Incumbent& incumbent,
   stats.pass_filter1.fetch_add(1, std::memory_order_relaxed);
 
   // ---- filter 2: induced degree, boolean test (lines 4-7) --------------
+  std::vector<VertexId>& kept = scratch.kept;
   {
-    std::vector<VertexId> kept;
+    kept.clear();
     kept.reserve(n_set.size());
     std::span<const VertexId> n_span(n_set);
     std::int64_t theta = static_cast<std::int64_t>(bound) - 2;
@@ -85,7 +100,7 @@ void neighbor_search(LazyGraph& h, VertexId v, Incumbent& incumbent,
         kept.push_back(u);
       }
     }
-    n_set = std::move(kept);
+    std::swap(n_set, kept);
   }
   if (n_set.size() < bound) {
     stats.filter_ns.fetch_add(to_ns(timer.elapsed()),
@@ -103,7 +118,7 @@ void neighbor_search(LazyGraph& h, VertexId v, Incumbent& incumbent,
       options.degree_filter_rounds > 1 ? options.degree_filter_rounds - 1 : 1;
   for (unsigned round = 0; round < extra_rounds; ++round) {
     m_hat = 0;
-    std::vector<VertexId> kept;
+    kept.clear();
     kept.reserve(n_set.size());
     std::span<const VertexId> n_span(n_set);
     std::int64_t theta = static_cast<std::int64_t>(bound) - 2;
@@ -116,7 +131,7 @@ void neighbor_search(LazyGraph& h, VertexId v, Incumbent& incumbent,
       }
     }
     bool fixpoint = kept.size() == n_set.size();
-    n_set = std::move(kept);
+    std::swap(n_set, kept);
     if (n_set.size() < bound) {
       stats.filter_ns.fetch_add(to_ns(timer.elapsed()),
                                 std::memory_order_relaxed);
@@ -131,7 +146,8 @@ void neighbor_search(LazyGraph& h, VertexId v, Incumbent& incumbent,
   // subgraph is materialized for either solver anyway, the exact density is
   // available at no extra cost and keeps the phi scale meaningful ([0,1]).
   (void)m_hat;
-  DenseSubgraph sub = induce_from_lazy(h, n_set);
+  DenseSubgraph& sub = scratch.sub;
+  induce_from_lazy(h, n_set, sub);
   const double density = sub.density();
   stats.filter_ns.fetch_add(to_ns(timer.lap()), std::memory_order_relaxed);
 
@@ -142,9 +158,10 @@ void neighbor_search(LazyGraph& h, VertexId v, Incumbent& incumbent,
     // chi(G[N]) bounds any clique inside G[N]; chi <= sub_bound means no
     // improving clique passes through v.
     WallTimer color_timer;
-    DynamicBitset all(sub.size());
+    DynamicBitset& all = scratch.all;
+    all.reinit(sub.size());
     for (std::size_t i = 0; i < sub.size(); ++i) all.set(i);
-    VertexId chi = greedy_color_count(sub, all);
+    VertexId chi = greedy_color_count(sub, all, scratch.color);
     stats.filter_ns.fetch_add(to_ns(color_timer.elapsed()),
                               std::memory_order_relaxed);
     if (chi <= sub_bound) return;
@@ -156,8 +173,9 @@ void neighbor_search(LazyGraph& h, VertexId v, Incumbent& incumbent,
         options.vc_node_budget_per_vertex == 0
             ? 0
             : options.vc_node_budget_per_vertex * (sub.size() + 1);
-    vc::McViaVcResult r =
-        vc::max_clique_via_vc(sub, sub_bound, options.control, budget);
+    vc::McViaVcResult r = vc::max_clique_via_vc(sub, sub_bound,
+                                                options.control, budget,
+                                                &scratch.vc);
     stats.vc_ns.fetch_add(to_ns(timer.lap()), std::memory_order_relaxed);
     stats.vc_nodes.fetch_add(r.nodes, std::memory_order_relaxed);
     if (r.budget_exhausted) {
@@ -166,26 +184,18 @@ void neighbor_search(LazyGraph& h, VertexId v, Incumbent& incumbent,
     } else {
       solved = true;
       stats.solved_vc.fetch_add(1, std::memory_order_relaxed);
-      if (!r.clique.empty()) {
-        std::vector<VertexId> clique{v};
-        for (VertexId local : r.clique) clique.push_back(sub.vertices[local]);
-        publish(clique);
-      }
+      if (!r.clique.empty()) publish(v, r.clique, sub.vertices);
     }
   }
   if (!solved) {
     BBOptions bb;
     bb.lower_bound = sub_bound;
     bb.control = options.control;
-    BBResult r = solve_mc_dense(sub, bb);
+    BBResult r = solve_mc_dense(sub, bb, scratch.mc);
     stats.mc_ns.fetch_add(to_ns(timer.lap()), std::memory_order_relaxed);
     stats.mc_nodes.fetch_add(r.nodes, std::memory_order_relaxed);
     stats.solved_mc.fetch_add(1, std::memory_order_relaxed);
-    if (!r.clique.empty()) {
-      std::vector<VertexId> clique{v};
-      for (VertexId local : r.clique) clique.push_back(sub.vertices[local]);
-      publish(clique);
-    }
+    if (!r.clique.empty()) publish(v, r.clique, sub.vertices);
   }
 }
 
@@ -217,42 +227,71 @@ void systematic_search(LazyGraph& h, Incumbent& incumbent,
     return std::pair<VertexId, VertexId>(begin, end);
   };
 
-  std::vector<char> probed(n, 0);
+  // ---- build the global worklist, highest priority first ---------------
+  // Probes first (one vertex per level, |C*| .. degeneracy — Algorithm
+  // 7's phase A, here just the head of the worklist so every participant
+  // starts on one), then whole levels from high to low coreness, each
+  // split into chunks small enough to balance.  Level lo-vertices whose
+  // level dies later are retired wholesale at claim time.
+  const std::size_t participants = thread_pool().num_threads();
+  const VertexId lo = incumbent.size();
+  std::vector<LevelChunk> worklist;
+  std::vector<char> is_probe(n, 0);
+  for (VertexId k = lo; k <= degeneracy; ++k) {
+    auto [begin, end] = level_range(k);
+    if (begin < end && h.coreness(begin) == k) {
+      worklist.push_back({begin, static_cast<VertexId>(begin + 1), k});
+      is_probe[begin] = 1;
+    }
+  }
+  for (VertexId k = degeneracy + 1; k-- > lo;) {
+    auto [begin, end] = level_range(k);
+    // The level's first vertex is already enqueued as its probe chunk.
+    if (begin < end && is_probe[begin]) ++begin;
+    if (begin >= end) continue;
+    const std::size_t level_size = end - begin;
+    std::size_t chunk = (level_size + 4 * participants - 1) /
+                        (4 * participants);
+    chunk = std::clamp<std::size_t>(chunk, 1, 64);
+    for (VertexId b = begin; b < end; b = static_cast<VertexId>(b + chunk)) {
+      VertexId e = static_cast<VertexId>(
+          std::min<std::size_t>(end, static_cast<std::size_t>(b) + chunk));
+      worklist.push_back({b, e, k});
+    }
+  }
 
-  // ---- phase A: one probe per level, |C*| .. degeneracy+1 --------------
-  {
-    VertexId lo = incumbent.size();
-    std::vector<VertexId> probes;
-    for (VertexId k = lo; k <= degeneracy; ++k) {
-      auto [begin, end] = level_range(k);
-      if (begin < end && h.coreness(begin) == k) {
-        probes.push_back(begin);
+  // Deal round-robin so each shard holds a descending-priority run and
+  // the first pops everywhere are probes / high-coreness chunks.
+  WorkQueue<LevelChunk> queue(participants);
+  for (std::size_t p = 0; p < participants; ++p) {
+    std::vector<LevelChunk> batch;
+    batch.reserve(worklist.size() / participants + 1);
+    for (std::size_t i = p; i < worklist.size(); i += participants) {
+      batch.push_back(worklist[i]);
+    }
+    queue.push_batch(p, batch.begin(), batch.end());
+  }
+
+  // ---- drain: no barriers, incumbent re-checked at claim time ----------
+  std::vector<SearchScratch> scratch(participants);
+  thread_pool().parallel_invoke_all([&](std::size_t p) {
+    SearchScratch& mine = scratch[p];
+    LevelChunk c;
+    while (queue.pop(p, c)) {
+      if (options.control && options.control->cancelled()) break;
+      const VertexId bound = incumbent.size();
+      if (c.coreness < bound) {
+        stats.retired_chunks.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      for (VertexId v = c.begin; v < c.end; ++v) {
+        if (options.control && options.control->cancelled()) break;
+        if (h.coreness(v) >= incumbent.size()) {
+          neighbor_search(h, v, incumbent, options, stats, mine);
+        }
       }
     }
-    parallel_for(0, probes.size(), [&](std::size_t i) {
-      VertexId v = probes[i];
-      probed[v] = 1;
-      if (options.control && options.control->cancelled()) return;
-      if (h.coreness(v) >= incumbent.size()) {
-        neighbor_search(h, v, incumbent, options, stats);
-      }
-    }, 1);
-  }
-
-  // ---- phase B: all levels, high to low ---------------------------------
-  for (VertexId k = degeneracy + 1; k-- > 0;) {
-    if (k < incumbent.size()) break;  // levels below |C*| cannot help
-    auto [begin, end] = level_range(k);
-    if (begin >= end) continue;
-    parallel_for(begin, end, [&](std::size_t i) {
-      VertexId v = static_cast<VertexId>(i);
-      if (probed[v]) return;
-      if (options.control && options.control->cancelled()) return;
-      if (h.coreness(v) >= incumbent.size()) {
-        neighbor_search(h, v, incumbent, options, stats);
-      }
-    }, 1);
-  }
+  });
 }
 
 }  // namespace lazymc::mc

@@ -14,16 +14,30 @@
 // The edge estimate drives algorithmic choice (Section IV-E): densities
 // above `density_threshold` route to k-VC on the complement, the rest to
 // the coloring B&B MC solver.
+//
+// Parallel runtime (systematic_search): the per-vertex subproblems are
+// *not* run as one barriered parallel_for per coreness level.  Instead a
+// single descending-coreness worklist — probe chunks first, then every
+// level's vertices chunked — is dealt round-robin across a sharded
+// WorkQueue and drained by all participants with steal-half balancing.
+// Each chunk carries its level's coreness; `incumbent.size()` is re-read
+// when the chunk is *claimed*, so a bound raised anywhere retires whole
+// chunks without touching their vertices (stats.retired_chunks).  Every
+// participant owns a SearchScratch arena, making steady-state probes
+// allocation-free.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <vector>
 
 #include "lazygraph/lazy_graph.hpp"
 #include "mc/bb_solver.hpp"
+#include "mc/greedy_color.hpp"
 #include "mc/incumbent.hpp"
 #include "mc/intersect_policy.hpp"
 #include "support/control.hpp"
+#include "vc/mc_via_vc.hpp"
 
 namespace lazymc::mc {
 
@@ -40,6 +54,9 @@ struct SearchStats {
   std::atomic<std::uint64_t> solved_vc{0};
   // k-VC probes abandoned on node budget and re-solved as MC.
   std::atomic<std::uint64_t> vc_fallbacks{0};
+  // Worklist chunks retired unvisited because the incumbent had grown
+  // past their coreness by claim time (incumbent broadcast at work).
+  std::atomic<std::uint64_t> retired_chunks{0};
   // Work split in seconds (Fig. 3) and node counts (Fig. 6).
   std::atomic<std::uint64_t> filter_ns{0};
   std::atomic<std::uint64_t> mc_ns{0};
@@ -54,6 +71,23 @@ struct SearchStats {
   double work_seconds() const {
     return filter_seconds() + mc_seconds() + vc_seconds();
   }
+};
+
+/// Per-thread scratch arena for the systematic search.  Holds every
+/// intermediate container a NeighborSearch probe needs — candidate
+/// vectors, the pooled dense subgraph, coloring buffers, branch-and-bound
+/// frames, and the k-VC complement — so that once its capacities reach
+/// the workload's high-water mark, steady-state probes perform zero heap
+/// allocation.  Not thread-safe: one instance per worker.
+struct SearchScratch {
+  std::vector<VertexId> n_set;    // surviving candidates
+  std::vector<VertexId> kept;     // filter output, swapped with n_set
+  std::vector<VertexId> clique;   // publish staging (original ids)
+  DenseSubgraph sub;              // pooled induced subgraph
+  DynamicBitset all;              // full candidate set for color_prune
+  ColorScratch color;             // greedy-coloring buffers
+  MCScratch mc;                   // solve_mc_dense frames
+  vc::VcScratch vc;               // complement pool for the k-VC route
 };
 
 struct NeighborSearchOptions {
@@ -86,13 +120,24 @@ struct NeighborSearchOptions {
 };
 
 /// Algorithm 8: searches the right-neighborhood of relabelled vertex v and
-/// offers any improving clique (original ids) to the incumbent.
+/// offers any improving clique (original ids) to the incumbent.  All
+/// intermediate state lives in `scratch` (one per thread).
 void neighbor_search(LazyGraph& h, VertexId v, Incumbent& incumbent,
-                     const NeighborSearchOptions& options, SearchStats& stats);
+                     const NeighborSearchOptions& options, SearchStats& stats,
+                     SearchScratch& scratch);
 
-/// Algorithm 7: one probe vertex per degeneracy level (from |C*| upward),
-/// then all levels from high to low coreness, vertices within a level in
-/// parallel.
+/// Convenience overload with a throwaway scratch (tests, one-off probes).
+inline void neighbor_search(LazyGraph& h, VertexId v, Incumbent& incumbent,
+                            const NeighborSearchOptions& options,
+                            SearchStats& stats) {
+  SearchScratch scratch;
+  neighbor_search(h, v, incumbent, options, stats, scratch);
+}
+
+/// Algorithm 7 over a zero-barrier sharded worklist: one probe vertex per
+/// degeneracy level (from |C*| upward) enqueued first, then all levels
+/// from high to low coreness, drained in parallel with claim-time
+/// incumbent re-checks (see the header comment).
 void systematic_search(LazyGraph& h, Incumbent& incumbent,
                        const NeighborSearchOptions& options,
                        SearchStats& stats);

@@ -19,6 +19,14 @@ class DynamicBitset {
   std::size_t size() const { return bits_; }
   std::size_t num_words() const { return words_.size(); }
 
+  /// Re-initializes to `bits` zero bits, reusing the existing word storage
+  /// when capacity allows.  Lets scratch-arena owners (SearchScratch)
+  /// recycle bitsets across subproblems without per-probe heap traffic.
+  void reinit(std::size_t bits) {
+    bits_ = bits;
+    words_.assign((bits + 63) / 64, 0);
+  }
+
   void set(std::size_t i) { words_[i >> 6] |= 1ULL << (i & 63); }
   void reset(std::size_t i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
   bool test(std::size_t i) const {

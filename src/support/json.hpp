@@ -1,0 +1,143 @@
+// Minimal streaming JSON writer shared by the CLI reporter and the bench
+// harness.  Tracks comma placement so emitters read like the output's
+// shape; values are numbers, bools, short strings, or flat arrays.  Not a
+// general serializer — no pretty-printing, no non-finite numbers.
+#pragma once
+
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace lazymc {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {
+    out_ << std::setprecision(9);
+  }
+
+  /// Opens an object: anonymous (array element / root) or keyed.
+  void open(const std::string& key = "") {
+    comma();
+    label(key);
+    out_ << '{';
+    first_ = true;
+  }
+  void close() {
+    out_ << '}';
+    first_ = false;
+  }
+
+  void open_array(const std::string& key = "") {
+    comma();
+    label(key);
+    out_ << '[';
+    first_ = true;
+  }
+  void close_array() {
+    out_ << ']';
+    first_ = false;
+  }
+
+  void field(const std::string& key, const std::string& value) {
+    comma();
+    label(key);
+    string(value);
+  }
+  void field(const std::string& key, const char* value) {
+    field(key, std::string(value));
+  }
+  void field(const std::string& key, double value) {
+    comma();
+    label(key);
+    out_ << value;
+  }
+  void field(const std::string& key, bool value) {
+    comma();
+    label(key);
+    out_ << (value ? "true" : "false");
+  }
+  template <typename Int,
+            typename = std::enable_if_t<std::is_integral_v<Int>>>
+  void field(const std::string& key, Int value) {
+    comma();
+    label(key);
+    integer(value);
+  }
+  template <typename Int,
+            typename = std::enable_if_t<std::is_integral_v<Int>>>
+  void field(const std::string& key, const std::vector<Int>& values) {
+    comma();
+    label(key);
+    out_ << '[';
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i) out_ << ',';
+      integer(values[i]);
+    }
+    out_ << ']';
+  }
+
+  /// Array elements.
+  void value(const std::string& v) {
+    comma();
+    string(v);
+  }
+  void value(double v) {
+    comma();
+    out_ << v;
+  }
+
+  /// Emits pre-validated JSON text verbatim (e.g. a number rendered
+  /// elsewhere) as an array element.
+  void raw_value(const std::string& json) {
+    comma();
+    out_ << json;
+  }
+
+ private:
+  template <typename Int>
+  void integer(Int value) {
+    if constexpr (std::is_signed_v<Int>) {
+      out_ << static_cast<std::int64_t>(value);
+    } else {
+      out_ << static_cast<std::uint64_t>(value);
+    }
+  }
+
+  void comma() {
+    if (!first_) out_ << ',';
+    first_ = false;
+  }
+  void label(const std::string& key) {
+    if (key.empty()) return;
+    string(key);
+    out_ << ':';
+  }
+  void string(const std::string& s) {
+    out_ << '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ << "\\\""; break;
+        case '\\': out_ << "\\\\"; break;
+        case '\n': out_ << "\\n"; break;
+        case '\t': out_ << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            out_ << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+                 << static_cast<int>(c) << std::dec << std::setfill(' ');
+          } else {
+            out_ << c;
+          }
+      }
+    }
+    out_ << '"';
+  }
+
+  std::ostream& out_;
+  bool first_ = true;
+};
+
+}  // namespace lazymc

@@ -1,7 +1,6 @@
 #include "support/parallel.hpp"
 
 #include <algorithm>
-#include <memory>
 
 namespace lazymc {
 namespace {
@@ -36,22 +35,24 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::in_worker() const { return g_current_pool == this; }
 
-void ThreadPool::worker_loop(std::size_t /*worker_index*/) {
+void ThreadPool::worker_loop(std::size_t worker_index) {
   g_current_pool = this;
+  // Participant index: the caller is 0, workers are 1..threads_.size().
+  const std::size_t participant = worker_index + 1;
   std::uint64_t seen_epoch = 0;
   for (;;) {
-    Job* job = nullptr;
+    detail::JobBase* job = nullptr;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_start_.wait(lock, [&] {
-        return shutting_down_ || (current_job_ != nullptr && job_epoch_ != seen_epoch);
+        return shutting_down_ ||
+               (current_job_ != nullptr && job_epoch_ != seen_epoch);
       });
       if (shutting_down_) return;
       seen_epoch = job_epoch_;
       job = current_job_;
     }
-    // Participant index: workers are 1..threads_.size(); caller is 0.
-    run_job_portion(*job, /*participant=*/seen_epoch % 1 + 1);  // index fixed below
+    job->run(*job, participant);
     {
       std::unique_lock<std::mutex> lock(mutex_);
       ++workers_done_;
@@ -60,46 +61,7 @@ void ThreadPool::worker_loop(std::size_t /*worker_index*/) {
   }
 }
 
-void ThreadPool::run_job_portion(Job& job, std::size_t participant) {
-  try {
-    if (job.per_thread) {
-      std::size_t t = job.next.fetch_add(1, std::memory_order_relaxed);
-      if (t < job.end) (*job.body)(t);
-    } else {
-      for (;;) {
-        std::size_t lo = job.next.fetch_add(job.grain, std::memory_order_relaxed);
-        if (lo >= job.end) break;
-        std::size_t hi = std::min(job.end, lo + job.grain);
-        for (std::size_t i = lo; i < hi; ++i) (*job.body)(i);
-      }
-    }
-  } catch (...) {
-    std::lock_guard<std::mutex> lock(job.error_mutex);
-    if (!job.error) job.error = std::current_exception();
-    // Drain the remaining iterations so other participants finish quickly.
-    job.next.store(job.end, std::memory_order_relaxed);
-  }
-  (void)participant;
-}
-
-void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
-                              const std::function<void(std::size_t)>& body,
-                              std::size_t grain) {
-  if (begin >= end) return;
-  if (grain == 0) grain = 1;
-  // Nested calls and tiny ranges run inline.
-  if (in_worker() || threads_.empty() || end - begin <= grain) {
-    for (std::size_t i = begin; i < end; ++i) body(i);
-    return;
-  }
-
-  Job job;
-  job.next.store(begin, std::memory_order_relaxed);
-  job.end = end;
-  job.grain = grain;
-  job.body = &body;
-  job.per_thread = false;
-
+void ThreadPool::run_job(detail::JobBase& job) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
     current_job_ = &job;
@@ -108,37 +70,9 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   }
   cv_start_.notify_all();
 
-  // The caller participates too.
-  run_job_portion(job, 0);
+  // The caller participates as participant 0.
+  job.run(job, 0);
 
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_done_.wait(lock, [&] { return workers_done_ == threads_.size(); });
-    current_job_ = nullptr;
-  }
-  if (job.error) std::rethrow_exception(job.error);
-}
-
-void ThreadPool::parallel_invoke_all(const std::function<void(std::size_t)>& fn) {
-  std::size_t p = num_threads();
-  if (in_worker() || threads_.empty()) {
-    for (std::size_t t = 0; t < p; ++t) fn(t);
-    return;
-  }
-  Job job;
-  job.next.store(0, std::memory_order_relaxed);
-  job.end = p;
-  job.body = &fn;
-  job.per_thread = true;
-
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    current_job_ = &job;
-    ++job_epoch_;
-    workers_done_ = 0;
-  }
-  cv_start_.notify_all();
-  run_job_portion(job, 0);
   {
     std::unique_lock<std::mutex> lock(mutex_);
     cv_done_.wait(lock, [&] { return workers_done_ == threads_.size(); });

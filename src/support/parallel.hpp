@@ -1,26 +1,174 @@
 // Parallel runtime substrate for LazyMC.
 //
 // The paper builds on the Parlay scheduler; this module provides the subset
-// of functionality the algorithms actually need — a persistent thread pool
-// with statically- and dynamically-scheduled parallel_for, parallel
-// reduction, and a thread-count knob for the scalability experiments
-// (Fig. 7).  Nested parallel_for calls from inside a worker execute
-// sequentially, which matches how LazyMC uses parallelism (one flat parfor
-// per phase over vertices / degeneracy levels).
+// of functionality the algorithms actually need, tuned so the scheduler
+// itself stays off the profile:
+//
+//  * `parallel_for` / `parallel_reduce` are template-dispatched: the body
+//    is invoked through a per-type trampoline (one indirect call per
+//    participant per launch), so per-iteration calls inline — no
+//    `std::function` erasure anywhere on the hot path.
+//  * Iteration ranges are *sharded*: each participant owns a contiguous
+//    slice of [begin, end) and claims grain-sized chunks from it with a
+//    single relaxed fetch_add on its own cache line.  A participant that
+//    drains its shard steals chunks from the other shards round-robin, so
+//    skewed per-iteration costs still balance without a central counter.
+//  * `WorkQueue<T>` is a sharded multi-producer multi-consumer queue
+//    (per-shard locked rings, batch push, steal-half) for irregular work
+//    that does not fit a flat loop — e.g. the systematic-search worklist.
+//
+// Nested-parallelism rule: a `parallel_for` / `parallel_invoke_all` issued
+// from inside a worker of the same pool runs the whole range inline on the
+// calling worker (no new job is published).  This keeps the runtime
+// deadlock-free without a full work-stealing scheduler and matches how
+// LazyMC uses parallelism: one flat parallel phase at a time, with
+// irregular work routed through WorkQueue instead of nested forks.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <functional>
+#include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
+
+#include "support/spinlock.hpp"
 
 namespace lazymc {
 
+namespace detail {
+
+/// One shard of a sharded iteration range.  Padded to a cache line so
+/// owners claiming from their own shard never false-share.
+struct alignas(64) RangeShard {
+  std::atomic<std::size_t> next{0};
+  std::size_t end = 0;
+};
+
+/// A [begin, end) range split into one contiguous shard per participant.
+/// Participants claim grain-sized chunks from their own shard first, then
+/// steal chunks from other shards round-robin.
+class ShardedRange {
+ public:
+  ShardedRange(std::size_t begin, std::size_t end, std::size_t participants,
+               std::size_t grain)
+      : parts_(participants == 0 ? 1 : participants),
+        grain_(grain == 0 ? 1 : grain),
+        shards_(std::make_unique<RangeShard[]>(parts_)) {
+    const std::size_t n = end - begin;
+    const std::size_t per = (n + parts_ - 1) / parts_;
+    for (std::size_t p = 0; p < parts_; ++p) {
+      std::size_t lo = begin + std::min(n, p * per);
+      std::size_t hi = begin + std::min(n, (p + 1) * per);
+      shards_[p].next.store(lo, std::memory_order_relaxed);
+      shards_[p].end = hi;
+    }
+  }
+
+  /// Claims the next chunk for participant `p`: own shard first, then the
+  /// other shards in round-robin order.  Returns false when no work is
+  /// left anywhere.
+  bool claim(std::size_t p, std::size_t& lo, std::size_t& hi) {
+    if (p >= parts_) p %= parts_;
+    for (std::size_t off = 0; off < parts_; ++off) {
+      if (claim_from(shards_[(p + off) % parts_], lo, hi)) return true;
+    }
+    return false;
+  }
+
+  /// Marks every shard drained (used to cut short after an exception).
+  void poison() {
+    for (std::size_t p = 0; p < parts_; ++p) {
+      shards_[p].next.store(shards_[p].end, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  bool claim_from(RangeShard& s, std::size_t& lo, std::size_t& hi) {
+    // The load guards the fetch_add so drained shards are not incremented
+    // without bound by polling thieves; the race it leaves is benign.
+    if (s.next.load(std::memory_order_relaxed) >= s.end) return false;
+    lo = s.next.fetch_add(grain_, std::memory_order_relaxed);
+    if (lo >= s.end) return false;
+    hi = std::min(s.end, lo + grain_);
+    return true;
+  }
+
+  std::size_t parts_;
+  std::size_t grain_;
+  std::unique_ptr<RangeShard[]> shards_;
+};
+
+/// A job handed to the pool.  `run` is a per-body-type trampoline set by
+/// the launching template, so the scheduler performs exactly one indirect
+/// call per participant and the per-iteration body call inlines.
+struct JobBase {
+  void (*run)(JobBase&, std::size_t participant) = nullptr;
+  std::exception_ptr error;
+  SpinLock error_lock;
+
+  void capture_error() noexcept {
+    SpinLockGuard guard(error_lock);
+    if (!error) error = std::current_exception();
+  }
+};
+
+template <typename Body>
+struct ParallelForJob final : JobBase {
+  ParallelForJob(Body& b, std::size_t begin, std::size_t end,
+                 std::size_t participants, std::size_t grain)
+      : body(&b), range(begin, end, participants, grain) {
+    run = &dispatch;
+  }
+
+  Body* body;
+  ShardedRange range;
+
+  static void dispatch(JobBase& base, std::size_t p) {
+    auto& self = static_cast<ParallelForJob&>(base);
+    Body& body = *self.body;
+    std::size_t lo = 0, hi = 0;
+    try {
+      while (self.range.claim(p, lo, hi)) {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      }
+    } catch (...) {
+      self.capture_error();
+      self.range.poison();
+    }
+  }
+};
+
+template <typename Fn>
+struct InvokeAllJob final : JobBase {
+  explicit InvokeAllJob(Fn& f) : fn(&f) { run = &dispatch; }
+
+  Fn* fn;
+
+  static void dispatch(JobBase& base, std::size_t p) {
+    auto& self = static_cast<InvokeAllJob&>(base);
+    try {
+      (*self.fn)(p);
+    } catch (...) {
+      self.capture_error();
+    }
+  }
+};
+
+}  // namespace detail
+
 /// A fork-join thread pool.  One global instance (see `thread_pool()`) is
 /// shared by the whole library; tests may construct private pools.
+///
+/// Launch discipline: at most one external (non-worker) thread may launch
+/// jobs on a given pool at a time — the epoch-based job publication has a
+/// single launcher slot.  Calls *from inside a worker* are always safe
+/// (they run inline, see the nested-parallelism rule).  The library
+/// honours this by running one parallel phase at a time; concurrent
+/// launchers must provide their own serialization or use separate pools.
 class ThreadPool {
  public:
   /// Creates a pool running `num_threads` workers (0 = hardware concurrency).
@@ -30,55 +178,63 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Number of worker threads (always >= 1).
+  /// Number of worker threads (always >= 1; the caller participates).
   std::size_t num_threads() const { return threads_.size() + 1; }
 
-  /// Runs `body(i)` for i in [begin, end).  Iterations are divided into
-  /// contiguous blocks of at least `grain` iterations, distributed over all
-  /// workers with work-stealing-style dynamic chunk claiming.  Blocks until
-  /// all iterations complete.  Re-entrant calls from a worker thread run
-  /// sequentially.  Exceptions thrown by `body` propagate to the caller
-  /// (first one wins).
-  void parallel_for(std::size_t begin, std::size_t end,
-                    const std::function<void(std::size_t)>& body,
-                    std::size_t grain = 1);
+  /// Runs `body(i)` for i in [begin, end).  The range is split into one
+  /// contiguous shard per participant; each participant claims blocks of
+  /// `grain` iterations from its own shard and steals blocks from other
+  /// shards once its own is drained.  Blocks until all iterations
+  /// complete.  Re-entrant calls from a worker thread run sequentially
+  /// (see the nested-parallelism rule above).  Exceptions thrown by
+  /// `body` propagate to the caller (first one wins).
+  template <typename Body>
+  void parallel_for(std::size_t begin, std::size_t end, Body&& body,
+                    std::size_t grain = 1) {
+    if (begin >= end) return;
+    if (grain == 0) grain = 1;
+    if (in_worker() || threads_.empty() || end - begin <= grain) {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+      return;
+    }
+    detail::ParallelForJob<std::remove_reference_t<Body>> job(
+        body, begin, end, num_threads(), grain);
+    run_job(job);
+  }
 
   /// Runs `fn(t)` once on each of the `num_threads()` participants
-  /// (t = participant index).  Used for per-thread accumulators.
-  void parallel_invoke_all(const std::function<void(std::size_t)>& fn);
+  /// (t = participant index).  Used for per-thread accumulators and for
+  /// draining a WorkQueue with one shard per participant.
+  template <typename Fn>
+  void parallel_invoke_all(Fn&& fn) {
+    if (in_worker() || threads_.empty()) {
+      for (std::size_t t = 0; t < num_threads(); ++t) fn(t);
+      return;
+    }
+    detail::InvokeAllJob<std::remove_reference_t<Fn>> job(fn);
+    run_job(job);
+  }
 
   /// True when called from inside one of this pool's workers.
   bool in_worker() const;
 
  private:
-  struct Job {
-    std::atomic<std::size_t> next{0};
-    std::size_t end = 0;
-    std::size_t grain = 1;
-    const std::function<void(std::size_t)>* body = nullptr;
-    // When per_thread is true, body receives the participant index instead
-    // of loop indices, exactly once per participant.
-    bool per_thread = false;
-    std::atomic<std::size_t> remaining_participants{0};
-    std::exception_ptr error;
-    std::mutex error_mutex;
-  };
-
   void worker_loop(std::size_t worker_index);
-  void run_job_portion(Job& job, std::size_t participant);
+  /// Publishes `job`, participates as participant 0, joins, rethrows.
+  void run_job(detail::JobBase& job);
 
   std::vector<std::thread> threads_;
   std::mutex mutex_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
-  Job* current_job_ = nullptr;
+  detail::JobBase* current_job_ = nullptr;
   std::uint64_t job_epoch_ = 0;
   std::size_t workers_done_ = 0;
   bool shutting_down_ = false;
 };
 
 /// Returns the process-wide pool.  The first call creates it with
-/// `default_num_threads()` workers.
+/// hardware concurrency.
 ThreadPool& thread_pool();
 
 /// Sets the number of threads used by `thread_pool()`.  Destroys and
@@ -94,33 +250,163 @@ std::size_t num_threads();
 template <typename Body>
 void parallel_for(std::size_t begin, std::size_t end, Body&& body,
                   std::size_t grain = 1) {
-  std::function<void(std::size_t)> fn = std::forward<Body>(body);
-  thread_pool().parallel_for(begin, end, fn, grain);
+  thread_pool().parallel_for(begin, end, std::forward<Body>(body), grain);
 }
 
 /// Parallel reduction: combines `body(i)` over [begin, end) with `combine`,
-/// starting from `identity`.  `combine` must be associative.
+/// starting from `identity`.  `combine` must be associative.  Shares the
+/// sharded claiming scheme with parallel_for; per-participant partials are
+/// combined on the calling thread.
 template <typename T, typename Body, typename Combine>
 T parallel_reduce(std::size_t begin, std::size_t end, T identity, Body&& body,
                   Combine&& combine, std::size_t grain = 256) {
+  if (begin >= end) return identity;
   ThreadPool& pool = thread_pool();
-  std::size_t p = pool.num_threads();
+  const std::size_t p = pool.num_threads();
   std::vector<T> partial(p, identity);
-  std::atomic<std::size_t> next{begin};
-  std::function<void(std::size_t)> fn = [&](std::size_t t) {
+  detail::ShardedRange range(begin, end, p, grain == 0 ? 1 : grain);
+  pool.parallel_invoke_all([&](std::size_t t) {
     T acc = identity;
-    for (;;) {
-      std::size_t lo = next.fetch_add(grain, std::memory_order_relaxed);
-      if (lo >= end) break;
-      std::size_t hi = std::min(end, lo + grain);
+    std::size_t lo = 0, hi = 0;
+    while (range.claim(t, lo, hi)) {
       for (std::size_t i = lo; i < hi; ++i) acc = combine(acc, body(i));
     }
     partial[t] = acc;
-  };
-  pool.parallel_invoke_all(fn);
+  });
   T result = identity;
   for (const T& v : partial) result = combine(result, v);
   return result;
 }
+
+/// A sharded multi-producer multi-consumer work queue for irregular work
+/// that does not fit a flat parallel_for.
+///
+/// Each shard is a small locked ring: owners push to the back and pop from
+/// the *front* (so items pushed in priority order are consumed in priority
+/// order), while a consumer whose shard is empty steals the *back half* of
+/// a victim shard in one locked operation (steal-half), keeping future
+/// steals off the victim's cache line.  Locks are per-shard spinlocks;
+/// with one shard per participant the common pop is uncontended.
+///
+/// `size()` counts queued items only — an item being executed by a
+/// consumer is no longer in the queue.  When producers have finished
+/// pushing, `pop` returning false means the queue is globally empty, which
+/// is the termination condition for drain loops.
+template <typename T>
+class WorkQueue {
+ public:
+  explicit WorkQueue(std::size_t num_shards)
+      : num_shards_(num_shards == 0 ? 1 : num_shards),
+        shards_(std::make_unique<Shard[]>(num_shards_)) {}
+
+  std::size_t num_shards() const { return num_shards_; }
+
+  /// Appends one item to `shard` (lowest priority in that shard).
+  void push(std::size_t shard, T item) {
+    Shard& s = shard_at(shard);
+    {
+      SpinLockGuard guard(s.lock);
+      s.items.push_back(std::move(item));
+    }
+    size_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Appends a batch under one lock acquisition.
+  template <typename It>
+  void push_batch(std::size_t shard, It first, It last) {
+    if (first == last) return;
+    Shard& s = shard_at(shard);
+    std::size_t count = 0;
+    {
+      SpinLockGuard guard(s.lock);
+      for (It it = first; it != last; ++it, ++count) s.items.push_back(*it);
+    }
+    size_.fetch_add(count, std::memory_order_relaxed);
+  }
+
+  /// Pops the highest-priority item of the participant's own shard.
+  bool try_pop_local(std::size_t shard, T& out) {
+    Shard& s = shard_at(shard);
+    SpinLockGuard guard(s.lock);
+    if (!take_front(s, out)) return false;
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Steals roughly half of a victim shard (scanning round-robin from
+  /// `thief + 1`), keeps the loot in the thief's shard and returns the
+  /// loot's highest-priority item.  Items move straight from the victim
+  /// into the thief's shard (both locks held, acquired in global index
+  /// order so symmetric steals cannot deadlock); once the thief shard's
+  /// vector capacity has grown to its high-water mark, steals allocate
+  /// nothing.
+  bool try_steal(std::size_t thief, T& out) {
+    thief %= num_shards_;
+    Shard& mine = shards_[thief];
+    for (std::size_t off = 1; off < num_shards_; ++off) {
+      const std::size_t vi = (thief + off) % num_shards_;
+      Shard& victim = shards_[vi];
+      Shard& lock_first = vi < thief ? victim : mine;
+      Shard& lock_second = vi < thief ? mine : victim;
+      SpinLockGuard g1(lock_first.lock);
+      SpinLockGuard g2(lock_second.lock);
+      const std::size_t avail = victim.items.size() - victim.head;
+      if (avail == 0) continue;
+      const std::size_t take = (avail + 1) / 2;
+      auto src = victim.items.end() - static_cast<std::ptrdiff_t>(take);
+      out = std::move(*src);
+      mine.items.insert(mine.items.end(), std::move_iterator(src + 1),
+                        std::move_iterator(victim.items.end()));
+      victim.items.resize(victim.items.size() - take);
+      compact(victim);
+      size_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// Pop-or-steal for participant `shard`.  False = queue globally empty
+  /// (assuming no concurrent pushes).
+  bool pop(std::size_t shard, T& out) {
+    if (try_pop_local(shard, out)) return true;
+    return try_steal(shard, out);
+  }
+
+  /// Number of queued (not yet claimed) items.
+  std::size_t size() const { return size_.load(std::memory_order_relaxed); }
+  bool empty() const { return size() == 0; }
+
+ private:
+  struct alignas(64) Shard {
+    SpinLock lock;
+    std::vector<T> items;   // FIFO from `head`; back half is steal territory
+    std::size_t head = 0;   // first live item
+  };
+
+  Shard& shard_at(std::size_t shard) { return shards_[shard % num_shards_]; }
+
+  static bool take_front(Shard& s, T& out) {
+    if (s.head == s.items.size()) return false;
+    out = std::move(s.items[s.head++]);
+    compact(s);
+    return true;
+  }
+
+  /// Reclaims the consumed prefix once it dominates the buffer.
+  static void compact(Shard& s) {
+    if (s.head == s.items.size()) {
+      s.items.clear();
+      s.head = 0;
+    } else if (s.head >= 64 && s.head * 2 >= s.items.size()) {
+      s.items.erase(s.items.begin(),
+                    s.items.begin() + static_cast<std::ptrdiff_t>(s.head));
+      s.head = 0;
+    }
+  }
+
+  std::size_t num_shards_;
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<std::size_t> size_{0};
+};
 
 }  // namespace lazymc

@@ -7,22 +7,28 @@ namespace {
 
 class Searcher {
  public:
-  Searcher(const DenseSubgraph& g, const KvcOptions& opt) : g_(g), opt_(opt) {}
+  Searcher(const DenseSubgraph& g, const KvcOptions& opt, KvcScratch& scratch)
+      : g_(g), opt_(opt), scratch_(scratch) {}
 
   KvcResult run(std::int64_t k) {
     const std::size_t n = g_.size();
-    DynamicBitset alive(n);
+    // Every branch removes at least one vertex, so depth <= n + 1;
+    // pre-sizing keeps the per-depth branch bitsets stable and reused.
+    if (scratch_.frames.size() < n + 2) scratch_.frames.resize(n + 2);
+    DynamicBitset& alive = scratch_.root;
+    alive.reinit(n);
     for (std::size_t v = 0; v < n; ++v) {
       if (g_.adj[v].any()) alive.set(v);  // degree-0 never matters
     }
     KvcResult out;
-    std::vector<VertexId> cover;
-    out.feasible = search(alive, k, cover);
-    out.cover = std::move(cover);
+    std::vector<VertexId>& cover = scratch_.cover;
+    cover.clear();
+    out.feasible = search(alive, k, cover, 0);
+    if (timed_out_ || budget_exhausted_) out.feasible = false;
+    if (out.feasible) out.cover.assign(cover.begin(), cover.end());
     out.nodes = nodes_;
     out.timed_out = timed_out_;
     out.budget_exhausted = budget_exhausted_;
-    if (timed_out_ || budget_exhausted_) out.feasible = false;
     return out;
   }
 
@@ -35,7 +41,8 @@ class Searcher {
   /// Any vertex cover contains at least one endpoint per matching edge,
   /// so matching size > k proves infeasibility.  O(n * words).
   std::size_t maximal_matching_size(const DynamicBitset& alive) const {
-    DynamicBitset free = alive;
+    DynamicBitset& free = scratch_.matching_free;
+    free = alive;
     std::size_t matched = 0;
     for (std::size_t v = free.find_first(); v < free.size();
          v = free.find_next(v)) {
@@ -125,8 +132,10 @@ class Searcher {
     }
   }
 
-  bool search(DynamicBitset alive, std::int64_t k,
-              std::vector<VertexId>& cover) {
+  /// `alive` belongs to this call and is mutated freely (kernelisation);
+  /// the caller keeps its own copy for building its second branch.
+  bool search(DynamicBitset& alive, std::int64_t k,
+              std::vector<VertexId>& cover, std::size_t depth) {
     ++nodes_;
     if (opt_.control && opt_.control->should_stop(stop_counter_)) {
       timed_out_ = true;
@@ -237,7 +246,8 @@ class Searcher {
       if (max_deg <= 2) {
         // Paths and cycles: polynomial.
         std::size_t needed_before = cover.size();
-        DynamicBitset scratch = alive;
+        DynamicBitset& scratch = scratch_.deg2;
+        scratch = alive;
         while (scratch.any()) {
           std::size_t v = scratch.find_first();
           solve_degree2_component(scratch, v, cover);
@@ -250,12 +260,16 @@ class Searcher {
       }
 
       // ---- branch on the max-degree vertex ----------------------------
+      // Both branches borrow this depth's pooled bitset: branch 1's
+      // recursion may mutate it, so branch 2 re-copies from `alive`
+      // (which callees never touch) before reusing it.
+      DynamicBitset& next = scratch_.frames[depth].branch;
       // Branch 1: max_v in the cover.
       {
-        DynamicBitset next = alive;
+        next = alive;
         next.reset(max_v);
         cover.push_back(static_cast<VertexId>(max_v));
-        if (search(std::move(next), k - 1, cover)) return true;
+        if (search(next, k - 1, cover, depth + 1)) return true;
         cover.pop_back();
         if (timed_out_ || budget_exhausted_) {
           cover.resize(checkpoint);
@@ -264,7 +278,7 @@ class Searcher {
       }
       // Branch 2: N(max_v) in the cover.
       {
-        DynamicBitset next = alive;
+        next = alive;
         std::size_t taken = 0;
         std::size_t before = cover.size();
         for (std::size_t u = g_.adj[max_v].find_first();
@@ -275,8 +289,8 @@ class Searcher {
           ++taken;
         }
         next.reset(max_v);
-        if (search(std::move(next), k - static_cast<std::int64_t>(taken),
-                   cover)) {
+        if (search(next, k - static_cast<std::int64_t>(taken), cover,
+                   depth + 1)) {
           return true;
         }
         cover.resize(before);
@@ -288,6 +302,7 @@ class Searcher {
 
   const DenseSubgraph& g_;
   const KvcOptions& opt_;
+  KvcScratch& scratch_;
   std::uint64_t nodes_ = 0;
   std::uint64_t stop_counter_ = 0;
   bool timed_out_ = false;
@@ -297,10 +312,16 @@ class Searcher {
 }  // namespace
 
 KvcResult solve_kvc(const DenseSubgraph& g, std::int64_t k,
-                    const KvcOptions& options) {
+                    const KvcOptions& options, KvcScratch& scratch) {
   if (k < 0) return KvcResult{};
-  Searcher searcher(g, options);
+  Searcher searcher(g, options, scratch);
   return searcher.run(k);
+}
+
+KvcResult solve_kvc(const DenseSubgraph& g, std::int64_t k,
+                    const KvcOptions& options) {
+  KvcScratch scratch;
+  return solve_kvc(g, k, options, scratch);
 }
 
 std::size_t minimum_vertex_cover(const DenseSubgraph& g,

@@ -41,9 +41,28 @@ struct KvcOptions {
   std::uint64_t max_nodes = 0;
 };
 
+/// Reusable state for solve_kvc: one branch bitset per recursion depth
+/// plus the root/matching/path-solver bitsets and the working cover.
+/// Keep one per thread; once capacities reach the high-water mark,
+/// infeasible probes (the steady state of MC-via-VC) allocate nothing.
+struct KvcScratch {
+  struct Frame {
+    DynamicBitset branch;
+  };
+  std::vector<Frame> frames;
+  DynamicBitset root;
+  DynamicBitset matching_free;
+  DynamicBitset deg2;
+  std::vector<VertexId> cover;
+};
+
 /// Decides VC(g) <= k.
 KvcResult solve_kvc(const DenseSubgraph& g, std::int64_t k,
                     const KvcOptions& options = {});
+
+/// Scratch-arena variant: identical result, recycled intermediates.
+KvcResult solve_kvc(const DenseSubgraph& g, std::int64_t k,
+                    const KvcOptions& options, KvcScratch& scratch);
 
 /// Exact minimum vertex cover size via descending feasibility probes
 /// (test convenience; the production path uses mc_via_vc's binary search).

@@ -6,12 +6,16 @@ namespace lazymc::vc {
 
 McViaVcResult max_clique_via_vc(const DenseSubgraph& s, VertexId lower_bound,
                                 const SolveControl* control,
-                                std::uint64_t node_budget) {
+                                std::uint64_t node_budget,
+                                VcScratch* scratch) {
   McViaVcResult out;
   const std::size_t n = s.size();
   if (n == 0 || n <= lower_bound) return out;
 
-  DenseSubgraph comp = s.complement();
+  VcScratch local;
+  VcScratch& sc = scratch ? *scratch : local;
+  s.complement_into(sc.comp);
+  const DenseSubgraph& comp = sc.comp;
   KvcOptions opt;
   opt.control = control;
 
@@ -32,7 +36,8 @@ McViaVcResult max_clique_via_vc(const DenseSubgraph& s, VertexId lower_bound,
       }
       opt.max_nodes = node_budget - out.nodes;
     }
-    KvcResult r = solve_kvc(comp, static_cast<std::int64_t>(n - c), opt);
+    KvcResult r = solve_kvc(comp, static_cast<std::int64_t>(n - c), opt,
+                            sc.kvc);
     out.nodes += r.nodes;
     if (r.timed_out) {
       out.timed_out = true;
@@ -54,7 +59,8 @@ McViaVcResult max_clique_via_vc(const DenseSubgraph& s, VertexId lower_bound,
   if (!found) return out;
 
   // The clique is the complement of the cover within s.
-  std::vector<char> in_cover(n, 0);
+  std::vector<char>& in_cover = sc.in_cover;
+  in_cover.assign(n, 0);
   for (VertexId v : best_cover) in_cover[v] = 1;
   for (std::size_t v = 0; v < n; ++v) {
     if (!in_cover[v]) out.clique.push_back(static_cast<VertexId>(v));

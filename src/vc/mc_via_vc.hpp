@@ -31,12 +31,23 @@ struct McViaVcResult {
   bool budget_exhausted = false;
 };
 
+/// Reusable buffers for max_clique_via_vc: the complement subgraph and
+/// the cover-membership marks are recycled across probes when a scratch
+/// is supplied (one instance per thread).
+struct VcScratch {
+  DenseSubgraph comp;
+  std::vector<char> in_cover;
+  KvcScratch kvc;
+};
+
 /// Finds the maximum clique of `s` if it is larger than `lower_bound`.
 /// `node_budget` caps the total k-VC branch nodes across all probes
 /// (0 = unlimited); when exceeded, the result reports budget_exhausted
-/// and the caller decides how to proceed.
+/// and the caller decides how to proceed.  `scratch` (optional) recycles
+/// the complement-extraction buffers across calls.
 McViaVcResult max_clique_via_vc(const DenseSubgraph& s, VertexId lower_bound,
                                 const SolveControl* control = nullptr,
-                                std::uint64_t node_budget = 0);
+                                std::uint64_t node_budget = 0,
+                                VcScratch* scratch = nullptr);
 
 }  // namespace lazymc::vc

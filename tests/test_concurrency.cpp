@@ -7,6 +7,7 @@
 
 #include "baselines/reference.hpp"
 #include "graph/generators.hpp"
+#include "graph/suite.hpp"
 #include "kcore/kcore.hpp"
 #include "kcore/order.hpp"
 #include "lazygraph/lazy_graph.hpp"
@@ -121,6 +122,44 @@ TEST(ConcurrencyStress, SystematicSearchSharedStatsConsistent) {
             stats.solved_mc.load() + stats.solved_vc.load());
   auto ref = baselines::max_clique_reference(g);
   EXPECT_EQ(incumbent.size(), ref.size());
+  set_num_threads(0);
+}
+
+TEST(ConcurrencyStress, OmegaIdenticalAcrossThreadCountsForWholeSuite) {
+  // The sharded-worklist scheduler must not change the answer: omega is
+  // exact, so 1, 2 and 8 threads have to agree on every suite instance.
+  auto instances = suite::make_suite(suite::Scale::kTiny);
+  for (const auto& inst : instances) {
+    VertexId omega1 = 0;
+    for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                std::size_t{8}}) {
+      set_num_threads(threads);
+      auto r = mc::lazy_mc(inst.graph);
+      ASSERT_TRUE(is_clique(inst.graph, r.clique))
+          << inst.name << " @ " << threads << " threads";
+      if (threads == 1) {
+        omega1 = r.omega;
+      } else {
+        ASSERT_EQ(r.omega, omega1)
+            << inst.name << ": omega diverged at " << threads << " threads";
+      }
+    }
+  }
+  set_num_threads(0);
+}
+
+TEST(ConcurrencyStress, SystematicSearchReportsRetiredChunksSanely) {
+  // retired_chunks counts worklist chunks skipped wholesale when the
+  // incumbent outgrew their coreness level; it can never exceed the
+  // number of chunks, and the search must stay exact regardless.
+  Graph g = gen::plant_clique(gen::barabasi_albert(2000, 6, 301), 24, 302);
+  set_num_threads(4);
+  auto r = mc::lazy_mc(g);
+  auto ref = baselines::max_clique_reference(g);
+  EXPECT_EQ(r.omega, ref.size());
+  // Chunks are disjoint non-empty vertex ranges, so their count — and a
+  // fortiori the retired count — is bounded by the vertex count.
+  EXPECT_LE(r.search.retired_chunks, g.num_vertices());
   set_num_threads(0);
 }
 

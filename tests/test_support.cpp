@@ -103,6 +103,144 @@ TEST(GlobalPool, SetNumThreadsTakesEffect) {
   EXPECT_EQ(num_threads(), 4u);
 }
 
+TEST(WorkQueue, LocalPopIsFifoPerShard) {
+  WorkQueue<int> q(1);
+  for (int i = 0; i < 10; ++i) q.push(0, i);
+  EXPECT_EQ(q.size(), 10u);
+  int out = -1;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(q.try_pop_local(0, out));
+    EXPECT_EQ(out, i);  // priority order preserved
+  }
+  EXPECT_FALSE(q.try_pop_local(0, out));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(WorkQueue, PushBatchAndShardWrapping) {
+  WorkQueue<int> q(3);
+  std::vector<int> batch{1, 2, 3, 4};
+  q.push_batch(1, batch.begin(), batch.end());
+  q.push(4, 99);  // shard index wraps modulo num_shards -> shard 1
+  EXPECT_EQ(q.size(), 5u);
+  int out = 0;
+  ASSERT_TRUE(q.try_pop_local(4, out));
+  EXPECT_EQ(out, 1);
+}
+
+TEST(WorkQueue, StealHalfTakesBackHalfAndKeepsLoot) {
+  WorkQueue<int> q(2);
+  for (int i = 0; i < 8; ++i) q.push(0, i);
+  int out = -1;
+  // Thief (shard 1) steals half of shard 0's 8 items: gets items 4..7,
+  // returns the loot's highest-priority element (4), keeps 5..7.
+  ASSERT_TRUE(q.pop(1, out));
+  EXPECT_EQ(out, 4);
+  EXPECT_EQ(q.size(), 7u);
+  // The thief's next pops come from its own shard (the loot), in order.
+  ASSERT_TRUE(q.try_pop_local(1, out));
+  EXPECT_EQ(out, 5);
+  // The victim still drains its front half in order.
+  ASSERT_TRUE(q.try_pop_local(0, out));
+  EXPECT_EQ(out, 0);
+  // Every remaining item is still reachable exactly once.
+  std::set<int> rest;
+  while (q.pop(0, out)) rest.insert(out);
+  EXPECT_EQ(rest, (std::set<int>{1, 2, 3, 6, 7}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(WorkQueue, AbandonedDrainLeavesQueueConsistent) {
+  // A consumer that stops mid-drain (cancellation) must leave the queue
+  // with an accurate size and every unclaimed item still poppable.
+  WorkQueue<int> q(4);
+  for (int i = 0; i < 100; ++i) q.push(i % 4, i);
+  int out = -1;
+  std::set<int> claimed;
+  for (int i = 0; i < 37; ++i) {
+    ASSERT_TRUE(q.pop(i % 4, out));
+    ASSERT_TRUE(claimed.insert(out).second) << "duplicate item " << out;
+  }
+  EXPECT_EQ(q.size(), 63u);
+  std::set<int> rest;
+  while (q.pop(0, out)) {
+    ASSERT_TRUE(rest.insert(out).second) << "duplicate item " << out;
+  }
+  EXPECT_EQ(claimed.size() + rest.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(claimed.count(i) + rest.count(i) == 1) << "lost item " << i;
+  }
+}
+
+TEST(WorkQueue, ConcurrentPushPopStealStress) {
+  // Exercises push/pop/steal interleavings; run under TSan
+  // (-DLAZYMC_SANITIZE=thread) to check the locking discipline.
+  const std::size_t kThreads = 4;
+  const int kPerThread = 5000;
+  WorkQueue<int> q(kThreads);
+  std::atomic<long long> popped_sum{0};
+  std::atomic<std::size_t> popped_count{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!go.load()) {
+      }
+      // Phase 1: every thread produces into its own shard (in batches)
+      // while opportunistically consuming.
+      std::vector<int> batch;
+      for (int i = 0; i < kPerThread; ++i) {
+        batch.push_back(static_cast<int>(t) * kPerThread + i);
+        if (batch.size() == 64) {
+          q.push_batch(t, batch.begin(), batch.end());
+          batch.clear();
+        }
+        int out;
+        if (i % 3 == 0 && q.pop(t, out)) {
+          popped_sum.fetch_add(out);
+          popped_count.fetch_add(1);
+        }
+      }
+      q.push_batch(t, batch.begin(), batch.end());
+      // Phase 2: drain (pop own shard, steal from the others).
+      int out;
+      while (q.pop(t, out)) {
+        popped_sum.fetch_add(out);
+        popped_count.fetch_add(1);
+      }
+    });
+  }
+  go.store(true);
+  for (auto& th : threads) th.join();
+  // Phase-2 drains can race each other to "empty" while another thread is
+  // still pushing its tail batch, so sweep up any leftovers.
+  int out;
+  while (q.pop(0, out)) {
+    popped_sum.fetch_add(out);
+    popped_count.fetch_add(1);
+  }
+  const long long n = static_cast<long long>(kThreads) * kPerThread;
+  EXPECT_EQ(popped_count.load(), static_cast<std::size_t>(n));
+  EXPECT_EQ(popped_sum.load(), n * (n - 1) / 2);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ShardedRange, SkewedWorkStillCoversEveryIndex) {
+  // Chunk stealing: participant 0's shard is much more expensive, so the
+  // others must finish it; every index still runs exactly once.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(4096);
+  for (auto& h : hits) h.store(0);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) {
+    if (i < hits.size() / 4) {
+      // Simulate skew in the first shard.
+      volatile int spin = 0;
+      for (int s = 0; s < 50; ++s) spin = spin + s;
+    }
+    hits[i]++;
+  }, 8);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 TEST(Rng, DeterministicForSameSeed) {
   Rng a(123), b(123);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
