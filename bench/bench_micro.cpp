@@ -3,11 +3,22 @@
 // and without early exits, lazy-graph construction costs, and the
 // parallel-runtime schedulers (barriered flat parallel_for vs the sharded
 // work-queue drain used by systematic_search).
+//
+// Beyond the google-benchmark registrations, `--shootout` runs the
+// intersection-kernel shoot-out (scalar hash vs prefetched batch hash vs
+// word-parallel bitset vs sorted merge, across densities and θ) as an
+// ASCII table, exported to JSON with `--json=PATH` like every other bench
+// binary (schema "lazymc-bench-tables/1").
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
 #include <vector>
 
+#include "common.hpp"
 #include "graph/generators.hpp"
 #include "graph/suite.hpp"
 #include "hashset/hopscotch_set.hpp"
@@ -17,6 +28,7 @@
 #include "lazygraph/lazy_graph.hpp"
 #include "support/parallel.hpp"
 #include "support/random.hpp"
+#include "support/timer.hpp"
 
 namespace lazymc {
 namespace {
@@ -264,7 +276,184 @@ void BM_EagerRelabelWholeGraph(benchmark::State& state) {
 }
 BENCHMARK(BM_EagerRelabelWholeGraph);
 
+// --- prefetched batch probe vs serial contains -----------------------------
+// Large miss-heavy set: serial probing pays two dependent cache-line
+// loads per element; the batched kernel overlaps them.
+
+void BM_HashProbeSerial(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto b = random_sorted(n, 41, n * 8);
+  HopscotchSet bs(b.size());
+  for (VertexId x : b) bs.insert(x);
+  auto a = random_sorted(16384, 42, n * 8);
+  for (auto _ : state) {
+    // theta < 0: the miss budget never trips, so the whole array probes.
+    benchmark::DoNotOptimize(
+        intersect_size_gt_val(std::span<const VertexId>(a), bs, -1));
+  }
+}
+BENCHMARK(BM_HashProbeSerial)->Arg(16384)->Arg(262144)->Arg(1 << 21);
+
+void BM_HashProbeBatched(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto b = random_sorted(n, 41, n * 8);
+  HopscotchSet bs(b.size());
+  for (VertexId x : b) bs.insert(x);
+  auto a = random_sorted(16384, 42, n * 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(intersect_size_gt_val_prefetch(
+        std::span<const VertexId>(a), bs, -1));
+  }
+}
+BENCHMARK(BM_HashProbeBatched)->Arg(16384)->Arg(262144)->Arg(1 << 21);
+
+// --- word-parallel bitset kernel vs scalar hash probing --------------------
+
+void BM_IntersectBitsetWord(benchmark::State& state) {
+  const VertexId zone = 4096;
+  auto a = random_sorted(2048, 43, zone);
+  auto b = random_sorted(2048, 44, zone);
+  SparseWordSet aw;
+  aw.build({a.data(), a.size()}, 0);
+  std::vector<std::uint64_t> words((zone + 63) / 64, 0);
+  for (VertexId v : b) words[v >> 6] |= 1ULL << (v & 63);
+  BitsetRow row{words.data(), 0, zone, static_cast<std::uint32_t>(b.size())};
+  // theta must stay below |A| or the size guard short-circuits the kernel;
+  // 512 mirrors the shoot-out's dense scenarios (exits mid-scan).
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(intersect_size_gt_val(aw, row, 512));
+  }
+}
+BENCHMARK(BM_IntersectBitsetWord);
+
+}  // namespace
+
+// --- intersection-kernel shoot-out -----------------------------------------
+// One table row per (density, theta) scenario; each cell is ns/op for the
+// kernel answering the same intersect-size-gt-bool question.  Dense
+// neighborhoods (A and B large fractions of a small zone) are where the
+// word-parallel bitset kernel wins; sparse miss-heavy probing into a
+// large hash set is where the prefetched batch probe wins.
+
+namespace {
+
+double time_ns_per_op(const std::function<void()>& fn) {
+  // Calibrate to ~2ms per measurement, then take the best of 3.
+  std::size_t iters = 1;
+  for (;;) {
+    WallTimer t;
+    for (std::size_t i = 0; i < iters; ++i) fn();
+    if (t.elapsed() > 2e-3 || iters > (1u << 24)) break;
+    iters *= 4;
+  }
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    WallTimer t;
+    for (std::size_t i = 0; i < iters; ++i) fn();
+    best = std::min(best, t.elapsed() / static_cast<double>(iters));
+  }
+  return best * 1e9;
+}
+
+void run_intersect_shootout() {
+  struct Scenario {
+    const char* name;
+    VertexId universe;  // zone size / id range
+    std::size_t na, nb;
+    std::int64_t theta;
+  };
+  // Densities are |B|/universe; theta sweeps failure-exit-heavy (high),
+  // mid, and success-exit-heavy (low) regimes.  The sparse scenarios size
+  // the hash set well past L2 (~1M elements -> 2M slots -> 16 MB of
+  // buckets + bitmasks) so probes are genuinely memory-bound: that is the
+  // regime the prefetched batch kernel targets, while the dense scenarios
+  // (small zone, high hit rate) are the bitset kernel's home turf.
+  const Scenario scenarios[] = {
+      {"dense-90", 4096, 2048, 3686, 512},
+      {"dense-90-hiT", 4096, 2048, 3686, 1843},
+      {"dense-50", 4096, 2048, 2048, 512},
+      {"dense-50-hiT", 4096, 2048, 2048, 1024},
+      {"mid-10", 16384, 2048, 1638, 64},
+      {"sparse-hit", 1 << 23, 16384, 1 << 21, 3400},
+      {"sparse-miss", 1 << 23, 16384, 1 << 21, 4096},
+  };
+  bench::Table table("intersect-shootout",
+                     {"scenario", "|A|", "|B|", "universe", "theta", "result",
+                      "hash-serial ns", "hash-batched ns", "bitset-word ns",
+                      "merge ns", "bitset/hash", "batch/serial"});
+  for (const Scenario& s : scenarios) {
+    auto a = random_sorted(s.na, 91, s.universe);
+    auto b = random_sorted(s.nb, 92, s.universe);
+    HopscotchSet hs(b.size());
+    for (VertexId x : b) hs.insert(x);
+    SparseWordSet aw;
+    aw.build({a.data(), a.size()}, 0);
+    std::vector<std::uint64_t> words(
+        (static_cast<std::size_t>(s.universe) + 63) / 64, 0);
+    for (VertexId v : b) words[v >> 6] |= 1ULL << (v & 63);
+    BitsetRow row{words.data(), 0, s.universe,
+                  static_cast<std::uint32_t>(b.size())};
+    std::span<const VertexId> as(a);
+
+    const bool expected = intersect_size_gt_bool(as, hs, s.theta);
+    if (intersect_size_gt_bool_prefetch(as, hs, s.theta) != expected ||
+        intersect_size_gt_bool(aw, row, s.theta) != expected ||
+        intersect_sorted_size_gt_bool(as, b, s.theta) != expected) {
+      std::fprintf(stderr, "shootout: kernel disagreement on %s\n", s.name);
+      std::exit(1);
+    }
+
+    double hash_ns = time_ns_per_op([&] {
+      benchmark::DoNotOptimize(intersect_size_gt_bool(as, hs, s.theta));
+    });
+    double batch_ns = time_ns_per_op([&] {
+      benchmark::DoNotOptimize(
+          intersect_size_gt_bool_prefetch(as, hs, s.theta));
+    });
+    double bitset_ns = time_ns_per_op([&] {
+      benchmark::DoNotOptimize(intersect_size_gt_bool(aw, row, s.theta));
+    });
+    double merge_ns = time_ns_per_op([&] {
+      benchmark::DoNotOptimize(intersect_sorted_size_gt_bool(as, b, s.theta));
+    });
+    table.add_row({s.name, std::to_string(a.size()), std::to_string(b.size()),
+                   std::to_string(s.universe), std::to_string(s.theta),
+                   expected ? "true" : "false", bench::fmt(hash_ns, 1),
+                   bench::fmt(batch_ns, 1), bench::fmt(bitset_ns, 1),
+                   bench::fmt(merge_ns, 1), bench::fmt(hash_ns / bitset_ns, 2),
+                   bench::fmt(hash_ns / batch_ns, 2)});
+  }
+  table.print();
+}
+
 }  // namespace
 }  // namespace lazymc
 
-BENCHMARK_MAIN();
+// Custom main: strips the repo-convention flags (--shootout, --json=PATH)
+// before handing the rest to google-benchmark, whose BENCHMARK_MAIN would
+// reject them as unrecognized.
+int main(int argc, char** argv) {
+  bool shootout = false;
+  std::vector<char*> keep;
+  keep.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--shootout") {
+      shootout = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      lazymc::bench::enable_json_export(arg.substr(7));
+    } else {
+      keep.push_back(argv[i]);
+    }
+  }
+  if (shootout) {
+    lazymc::run_intersect_shootout();
+    return 0;
+  }
+  int kargc = static_cast<int>(keep.size());
+  benchmark::Initialize(&kargc, keep.data());
+  if (benchmark::ReportUnrecognizedArguments(kargc, keep.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -31,6 +31,18 @@ void solve_into(const Options& options, RunReport& report, const Graph& g) {
       config.vertex_order = options.order == Order::kPeeling
                                 ? mc::VertexOrderKind::kPeeling
                                 : mc::VertexOrderKind::kCorenessDegree;
+      switch (options.rep) {
+        case Rep::kAuto: config.neighborhood_rep = NeighborhoodRep::kAuto;
+          break;
+        case Rep::kHash: config.neighborhood_rep = NeighborhoodRep::kHash;
+          break;
+        case Rep::kSorted: config.neighborhood_rep = NeighborhoodRep::kSorted;
+          break;
+        case Rep::kBitset: config.neighborhood_rep = NeighborhoodRep::kBitset;
+          break;
+      }
+      config.bitset_budget_bytes = options.bitset_budget_mb << 20;
+      config.pre_extraction_density = options.pre_extraction_density;
       config.time_limit_seconds = options.time_limit_seconds;
       report.lazymc = mc::lazy_mc(g, config);
       report.has_lazymc = true;

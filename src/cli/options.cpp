@@ -29,6 +29,15 @@ Order parse_order(const std::string& name) {
   fail("unknown vertex order '" + name + "' (expected coreness|peeling)");
 }
 
+Rep parse_rep(const std::string& name) {
+  if (name == "auto") return Rep::kAuto;
+  if (name == "hash") return Rep::kHash;
+  if (name == "sorted") return Rep::kSorted;
+  if (name == "bitset") return Rep::kBitset;
+  fail("unknown representation '" + name +
+       "' (expected auto|hash|sorted|bitset)");
+}
+
 }  // namespace
 
 std::string usage() {
@@ -53,6 +62,15 @@ std::string usage() {
       "                       and ignores this)\n"
       "  --order KIND         lazymc vertex order: coreness (default) |\n"
       "                       peeling; other solvers use their own order\n"
+      "  --rep KIND           lazymc neighborhood representation built on\n"
+      "                       first use: auto (default; degree rule +\n"
+      "                       bitset rows where cheap) | hash | sorted |\n"
+      "                       bitset.  hash/sorted disable bitset rows\n"
+      "  --bitset-budget-mb N memory budget for bitset neighborhood rows\n"
+      "                       (default 64; 0 disables the representation)\n"
+      "  --pre-density        route the MC-vs-VC solver choice on the\n"
+      "                       filter-3 edge estimate instead of the\n"
+      "                       extracted subgraph's exact density\n"
       "  --json               emit the result as JSON on stdout\n"
       "  --help, -h           print this message\n";
 }
@@ -88,6 +106,19 @@ Options parse_options(int argc, char** argv, bool& wants_help) {
       options.solver = parse_solver(value(i, arg));
     } else if (arg == "--order") {
       options.order = parse_order(value(i, arg));
+    } else if (arg == "--rep") {
+      options.rep = parse_rep(value(i, arg));
+    } else if (arg == "--bitset-budget-mb") {
+      const std::string v = value(i, arg);
+      char* end = nullptr;
+      long n = std::strtol(v.c_str(), &end, 10);
+      if (end == v.c_str() || *end != '\0' || n < 0) {
+        fail("--bitset-budget-mb expects a non-negative integer, got '" + v +
+             "'");
+      }
+      options.bitset_budget_mb = static_cast<std::size_t>(n);
+    } else if (arg == "--pre-density") {
+      options.pre_extraction_density = true;
     } else if (arg == "--threads") {
       const std::string v = value(i, arg);
       char* end = nullptr;

@@ -2,7 +2,9 @@
 //
 // Usage:
 //   lazymc --graph <file|gen:name[:scale]> [--solver NAME] [--threads N]
-//          [--time-limit SECONDS] [--order coreness|peeling] [--json]
+//          [--time-limit SECONDS] [--order coreness|peeling]
+//          [--rep auto|hash|sorted|bitset] [--bitset-budget-mb N]
+//          [--pre-density] [--json]
 //
 // Solvers: lazymc (default), domega (alias domega-bs), domega-ls, mcbrb,
 // pmc, reference, mce.
@@ -25,10 +27,17 @@ enum class Solver {
 
 enum class Order { kCorenessDegree, kPeeling };
 
+/// Lazy-graph neighborhood representation (lazymc solver only); mirrors
+/// lazymc::NeighborhoodRep.
+enum class Rep { kAuto, kHash, kSorted, kBitset };
+
 struct Options {
   std::string graph_spec;  // file path or "gen:name[:scale]"
   Solver solver = Solver::kLazyMc;
   Order order = Order::kCorenessDegree;
+  Rep rep = Rep::kAuto;
+  std::size_t bitset_budget_mb = 64;  // 0 disables bitset rows
+  bool pre_extraction_density = false;
   std::size_t threads = 0;  // 0 = hardware default
   double time_limit_seconds = std::numeric_limits<double>::infinity();
   bool json = false;

@@ -51,10 +51,17 @@ void render_text(const RunReport& r, std::ostream& out) {
   out << "          mc-nodes=" << s.mc_nodes << " vc-nodes=" << s.vc_nodes
       << " filter=" << s.filter_seconds << "s mc=" << s.mc_seconds
       << "s vc=" << s.vc_seconds << "s\n";
+  out << "kernels:  merge=" << s.kernel_merge << " gallop=" << s.kernel_gallop
+      << " hash=" << s.kernel_hash
+      << " hash-batched=" << s.kernel_hash_batched
+      << " bitset-probe=" << s.kernel_bitset_probe
+      << " bitset-word=" << s.kernel_bitset_word << "\n";
   const auto& g = lz.lazy_graph;
   out << "lazygraph: hash-built=" << g.hash_built
       << " sorted-built=" << g.sorted_built
-      << " neighbors-kept=" << g.neighbors_kept
+      << " bitset-built=" << g.bitset_built
+      << " bitset-bytes=" << g.bitset_bytes << " zone=" << g.zone_size
+      << "\n           neighbors-kept=" << g.neighbors_kept
       << " neighbors-filtered=" << g.neighbors_filtered << "\n";
 }
 
@@ -100,11 +107,22 @@ void render_json(const RunReport& r, std::ostream& out) {
     w.field("vc_seconds", s.vc_seconds);
     w.field("mc_nodes", s.mc_nodes);
     w.field("vc_nodes", s.vc_nodes);
+    w.open("kernels");
+    w.field("merge", s.kernel_merge);
+    w.field("gallop", s.kernel_gallop);
+    w.field("hash", s.kernel_hash);
+    w.field("hash_batched", s.kernel_hash_batched);
+    w.field("bitset_probe", s.kernel_bitset_probe);
+    w.field("bitset_word", s.kernel_bitset_word);
+    w.close();
     w.close();
     const auto& g = lz.lazy_graph;
     w.open("lazy_graph");
     w.field("hash_built", g.hash_built);
     w.field("sorted_built", g.sorted_built);
+    w.field("bitset_built", g.bitset_built);
+    w.field("bitset_bytes", g.bitset_bytes);
+    w.field("zone_size", g.zone_size);
     w.field("neighbors_kept", g.neighbors_kept);
     w.field("neighbors_filtered", g.neighbors_filtered);
     w.close();

@@ -51,6 +51,38 @@ class HopscotchSet {
     return false;
   }
 
+  /// Home bucket index of v (hash only; no memory touched).  The batch
+  /// kernels compute this once per key, prefetch with it, then probe with
+  /// contains_at — a serial contains() would hash the key a second time.
+  std::size_t home_of(VertexId v) const {
+    return buckets_.empty() ? 0 : index_of(v);
+  }
+
+  /// Requests the home bucket's bitmask and slot cache lines ahead of a
+  /// future contains_at(home, v) — the batch-probe kernels
+  /// (intersect_*_prefetch) issue this kProbeLookahead iterations early so
+  /// consecutive probe misses overlap in the memory system.
+  void prefetch_home(std::size_t home) const {
+    if (buckets_.empty()) return;
+    __builtin_prefetch(hop_mask_.data() + home, /*rw=*/0, /*locality=*/1);
+    __builtin_prefetch(buckets_.data() + home, /*rw=*/0, /*locality=*/1);
+  }
+
+  /// Convenience: hash-and-prefetch in one call.
+  void prefetch(VertexId v) const { prefetch_home(home_of(v)); }
+
+  /// Membership test with a precomputed home index (== home_of(v)).
+  bool contains_at(std::size_t home, VertexId v) const {
+    if (buckets_.empty()) return false;
+    std::uint32_t mask = hop_mask_[home];
+    while (mask) {
+      unsigned bit = static_cast<unsigned>(__builtin_ctz(mask));
+      if (buckets_[wrap(home + bit)] == v) return true;
+      mask &= mask - 1;
+    }
+    return false;
+  }
+
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
   std::size_t capacity() const { return buckets_.size(); }

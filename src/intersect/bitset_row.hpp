@@ -1,0 +1,101 @@
+// Word-packed neighborhood representations for the word-parallel
+// intersection kernels.
+//
+// Both types live in "zone coordinates": the zone of interest is the
+// suffix [zone_begin, n) of relabelled vertex ids whose coreness was >=
+// the incumbent when bitset rows were enabled (LazyGraph keeps the zone
+// fixed from that point on; the incumbent only grows, so everything that
+// later matters stays inside it).  Bit i of a row stands for relabelled
+// vertex zone_begin + i.
+//
+//   BitsetRow      — a non-owning view of one vertex's packed filtered
+//                    neighborhood (built and memoized by LazyGraph).  It
+//                    satisfies the MembershipSet concept, so every scalar
+//                    probing kernel also works against it (a bit test
+//                    instead of a hash probe).
+//   SparseWordSet  — the query side A of |A ∩ B| > θ, as the list of
+//                    non-zero 64-bit words of A's characteristic vector.
+//                    Intersecting with a BitsetRow is then one AND +
+//                    popcount per *occupied* word of A, independent of
+//                    the zone size.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lazymc {
+
+/// Non-owning view of a packed bitset neighborhood row over the zone of
+/// interest.  `words == nullptr` means "no row" (representation absent).
+struct BitsetRow {
+  const std::uint64_t* words = nullptr;
+  VertexId zone_begin = 0;
+  VertexId zone_bits = 0;      // zone size in bits
+  std::uint32_t popcount = 0;  // set bits = filtered in-zone degree
+
+  bool valid() const { return words != nullptr; }
+  std::size_t num_words() const {
+    return (static_cast<std::size_t>(zone_bits) + 63) / 64;
+  }
+
+  /// Membership of relabelled vertex v.  Vertices outside the zone report
+  /// false; they have coreness below the incumbent at enable time, so by
+  /// the lazy-filtering invariant they can no longer affect the search.
+  bool contains(VertexId v) const {
+    if (v < zone_begin) return false;
+    const VertexId i = v - zone_begin;
+    if (i >= zone_bits) return false;
+    return (words[i >> 6] >> (i & 63)) & 1ULL;
+  }
+  std::size_t size() const { return popcount; }
+};
+
+/// Sparse word-list form of a *sorted* vertex array lying inside the zone.
+/// Rebuilt per filter round from scratch storage; building is O(|A|) and
+/// allocation-free once `entries` reaches its high-water capacity.
+class SparseWordSet {
+ public:
+  struct Entry {
+    std::uint32_t index;  // word index within the zone
+    std::uint64_t bits;
+  };
+
+  /// Rebuilds from `sorted` (ascending, unique, every element >=
+  /// zone_begin and inside the zone).
+  void build(std::span<const VertexId> sorted, VertexId zone_begin) {
+    entries_.clear();
+    zone_begin_ = zone_begin;
+    count_ = sorted.size();
+    std::uint32_t cur_index = 0;
+    std::uint64_t cur_bits = 0;
+    bool open = false;
+    for (VertexId v : sorted) {
+      const VertexId off = v - zone_begin;
+      const std::uint32_t w = off >> 6;
+      if (!open || w != cur_index) {
+        if (open) entries_.push_back({cur_index, cur_bits});
+        cur_index = w;
+        cur_bits = 0;
+        open = true;
+      }
+      cur_bits |= 1ULL << (off & 63);
+    }
+    if (open) entries_.push_back({cur_index, cur_bits});
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  /// Total number of set bits (= |A|).
+  std::size_t count() const { return count_; }
+  VertexId zone_begin() const { return zone_begin_; }
+
+ private:
+  std::vector<Entry> entries_;
+  std::size_t count_ = 0;
+  VertexId zone_begin_ = 0;
+};
+
+}  // namespace lazymc

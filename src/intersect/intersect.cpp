@@ -1,6 +1,7 @@
 #include "intersect/intersect.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace lazymc {
 
@@ -121,6 +122,250 @@ bool intersect_sorted_size_gt_bool(std::span<const VertexId> a,
     }
   }
   return hits > theta;
+}
+
+int intersect_sorted_size_gt_val(std::span<const VertexId> a,
+                                 std::span<const VertexId> b,
+                                 std::int64_t theta) {
+  const std::int64_t n = static_cast<std::int64_t>(a.size());
+  const std::int64_t m = static_cast<std::int64_t>(b.size());
+  if (n <= theta || m <= theta) return kTooSmall;
+  std::int64_t ha = n - theta;
+  std::int64_t hb = m - theta;
+  std::size_t i = 0, j = 0;
+  std::int64_t hits = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+      if (--ha <= 0) return kTooSmall;
+    } else if (b[j] < a[i]) {
+      ++j;
+      if (--hb <= 0) return kTooSmall;
+    } else {
+      ++hits;
+      ++i;
+      ++j;
+    }
+  }
+  return hits > theta ? static_cast<int>(hits) : kTooSmall;
+}
+
+std::size_t intersect_sorted_size(std::span<const VertexId> a,
+                                  std::span<const VertexId> b) {
+  std::size_t i = 0, j = 0, hits = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++hits;
+      ++i;
+      ++j;
+    }
+  }
+  return hits;
+}
+
+// ---- word-parallel kernels (SparseWordSet x BitsetRow) --------------------
+
+int intersect_gt(const SparseWordSet& a, const BitsetRow& b, VertexId* out,
+                 std::int64_t theta) {
+  const std::int64_t n = static_cast<std::int64_t>(a.count());
+  const std::int64_t m = static_cast<std::int64_t>(b.size());
+  if (n <= theta || m <= theta) return kTooSmall;
+  std::int64_t h = n - theta;  // tolerable misses from A
+  std::int64_t written = 0;
+  const VertexId base = b.zone_begin;
+  for (const SparseWordSet::Entry& e : a.entries()) {
+    const std::uint64_t both = e.bits & b.words[e.index];
+    h -= std::popcount(e.bits) - std::popcount(both);
+    std::uint64_t w = both;
+    while (w) {
+      const unsigned bit = static_cast<unsigned>(std::countr_zero(w));
+      out[written++] = base + (static_cast<VertexId>(e.index) << 6) + bit;
+      w &= w - 1;
+    }
+    if (h <= 0) return kTooSmall;
+  }
+  return static_cast<int>(written);
+}
+
+int intersect_size_gt_val(const SparseWordSet& a, const BitsetRow& b,
+                          std::int64_t theta) {
+  const std::int64_t n = static_cast<std::int64_t>(a.count());
+  const std::int64_t m = static_cast<std::int64_t>(b.size());
+  if (n <= theta || m <= theta) return kTooSmall;
+  std::int64_t h = n - theta;
+  std::int64_t hits = 0;
+  for (const SparseWordSet::Entry& e : a.entries()) {
+    const int hw = std::popcount(e.bits & b.words[e.index]);
+    hits += hw;
+    h -= std::popcount(e.bits) - hw;
+    if (h <= 0) return kTooSmall;
+  }
+  return static_cast<int>(hits);
+}
+
+bool intersect_size_gt_bool(const SparseWordSet& a, const BitsetRow& b,
+                            std::int64_t theta, bool enable_second_exit) {
+  const std::int64_t n = static_cast<std::int64_t>(a.count());
+  const std::int64_t m = static_cast<std::int64_t>(b.size());
+  if (n <= theta || m <= theta) return false;
+  std::int64_t h = n - theta;
+  std::int64_t hits = 0;
+  for (const SparseWordSet::Entry& e : a.entries()) {
+    const int hw = std::popcount(e.bits & b.words[e.index]);
+    hits += hw;
+    h -= std::popcount(e.bits) - hw;
+    if (h <= 0) return false;                         // exit 1, per word
+    if (enable_second_exit && hits > theta) return true;  // exit 2
+  }
+  return hits > theta;
+}
+
+std::size_t intersect_size(const SparseWordSet& a, const BitsetRow& b) {
+  std::size_t hits = 0;
+  for (const SparseWordSet::Entry& e : a.entries()) {
+    hits += static_cast<std::size_t>(std::popcount(e.bits & b.words[e.index]));
+  }
+  return hits;
+}
+
+std::size_t intersect_words(const SparseWordSet& a, const BitsetRow& b,
+                            VertexId* out) {
+  std::size_t written = 0;
+  const VertexId base = b.zone_begin;
+  for (const SparseWordSet::Entry& e : a.entries()) {
+    std::uint64_t w = e.bits & b.words[e.index];
+    while (w) {
+      const unsigned bit = static_cast<unsigned>(std::countr_zero(w));
+      out[written++] = base + (static_cast<VertexId>(e.index) << 6) + bit;
+      w &= w - 1;
+    }
+  }
+  return written;
+}
+
+// ---- prefetched batch probing into a HopscotchSet -------------------------
+//
+// The early exits stay at element granularity (results are bit-identical
+// to the scalar kernels).  Each key is hashed exactly once: its home
+// index is computed kProbeLookahead iterations early, the home cache
+// lines are prefetched, and the index parks in a small ring until the
+// probe consumes it with contains_at — so consecutive probe misses
+// overlap in the memory system and no hash is recomputed.
+
+namespace {
+
+/// Rolling window of precomputed home indices over a probe array.
+class ProbeRing {
+ public:
+  ProbeRing(std::span<const VertexId> a, const HopscotchSet& b)
+      : a_(a), b_(b) {
+    const std::size_t lead = std::min(a.size(), kProbeLookahead);
+    for (std::size_t i = 0; i < lead; ++i) {
+      homes_[i] = b.home_of(a[i]);
+      b.prefetch_home(homes_[i]);
+    }
+  }
+
+  /// Membership of a[i]; call with i strictly increasing from 0.
+  bool probe(std::size_t i) {
+    // Read the parked home before the lookahead store: slot i+lookahead
+    // aliases slot i in the ring.
+    const std::size_t home = homes_[i & (kProbeLookahead - 1)];
+    const std::size_t ahead = i + kProbeLookahead;
+    if (ahead < a_.size()) {
+      const std::size_t next = b_.home_of(a_[ahead]);
+      homes_[ahead & (kProbeLookahead - 1)] = next;
+      b_.prefetch_home(next);
+    }
+    return b_.contains_at(home, a_[i]);
+  }
+
+ private:
+  static_assert((kProbeLookahead & (kProbeLookahead - 1)) == 0,
+                "ring indexing requires a power-of-two lookahead");
+  std::span<const VertexId> a_;
+  const HopscotchSet& b_;
+  std::size_t homes_[kProbeLookahead];
+};
+
+}  // namespace
+
+int intersect_gt_prefetch(std::span<const VertexId> a, const HopscotchSet& b,
+                          VertexId* out, std::int64_t theta) {
+  const std::int64_t n = static_cast<std::int64_t>(a.size());
+  const std::int64_t m = static_cast<std::int64_t>(b.size());
+  if (n <= theta || m <= theta) return kTooSmall;
+  ProbeRing ring(a, b);
+  std::int64_t h = n - theta;
+  std::int64_t written = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!ring.probe(i)) {
+      if (--h <= 0) return kTooSmall;
+    } else {
+      out[written++] = a[i];
+    }
+  }
+  return static_cast<int>(written);
+}
+
+int intersect_size_gt_val_prefetch(std::span<const VertexId> a,
+                                   const HopscotchSet& b, std::int64_t theta) {
+  const std::int64_t n = static_cast<std::int64_t>(a.size());
+  const std::int64_t m = static_cast<std::int64_t>(b.size());
+  if (n <= theta || m <= theta) return kTooSmall;
+  ProbeRing ring(a, b);
+  std::int64_t h = n - theta;
+  std::int64_t hits = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!ring.probe(i)) {
+      if (--h <= 0) return kTooSmall;
+    } else {
+      ++hits;
+    }
+  }
+  return static_cast<int>(hits);
+}
+
+bool intersect_size_gt_bool_prefetch(std::span<const VertexId> a,
+                                     const HopscotchSet& b, std::int64_t theta,
+                                     bool enable_second_exit) {
+  const std::int64_t n = static_cast<std::int64_t>(a.size());
+  const std::int64_t m = static_cast<std::int64_t>(b.size());
+  if (n <= theta || m <= theta) return false;
+  ProbeRing ring(a, b);
+  std::int64_t h = n - theta;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (!ring.probe(static_cast<std::size_t>(i))) {
+      if (--h <= 0) return false;
+    } else if (enable_second_exit && h > n - i - 1) {
+      return true;
+    }
+  }
+  return h > 0;
+}
+
+std::size_t intersect_size_prefetch(std::span<const VertexId> a,
+                                    const HopscotchSet& b) {
+  ProbeRing ring(a, b);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    hits += ring.probe(i) ? 1 : 0;
+  }
+  return hits;
+}
+
+std::size_t intersect_hash_prefetch(std::span<const VertexId> a,
+                                    const HopscotchSet& b, VertexId* out) {
+  ProbeRing ring(a, b);
+  std::size_t written = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (ring.probe(i)) out[written++] = a[i];
+  }
+  return written;
 }
 
 std::vector<VertexId> intersect_reference(std::span<const VertexId> a,

@@ -23,6 +23,7 @@
 
 #include "graph/graph.hpp"
 #include "hashset/hopscotch_set.hpp"
+#include "intersect/bitset_row.hpp"
 #include "support/bitset.hpp"
 
 namespace lazymc {
@@ -175,6 +176,66 @@ bool intersect_sorted_size_gt_bool(std::span<const VertexId> a,
                                    std::span<const VertexId> b,
                                    std::int64_t theta,
                                    bool enable_second_exit = true);
+
+/// Merge-based intersect-size-gt-val: exact |A ∩ B| when > theta, else
+/// kTooSmall; exits as soon as either side's miss budget is exhausted.
+int intersect_sorted_size_gt_val(std::span<const VertexId> a,
+                                 std::span<const VertexId> b,
+                                 std::int64_t theta);
+
+/// Exact merge intersection size (no early exit; "no early exits" policy).
+std::size_t intersect_sorted_size(std::span<const VertexId> a,
+                                  std::span<const VertexId> b);
+
+// --------------------------------------------------------------------------
+// Word-parallel kernels: SparseWordSet A against a BitsetRow B.  Same
+// contracts as the scalar variants above, with the miss-budget / success
+// exits checked once per 64-bit word (one AND + two popcounts per word)
+// instead of once per element.
+
+/// Word-parallel intersect-gt: writes A ∩ B (ascending relabelled ids) to
+/// `out`, returns its size when > theta, else kTooSmall.
+int intersect_gt(const SparseWordSet& a, const BitsetRow& b, VertexId* out,
+                 std::int64_t theta);
+
+/// Word-parallel intersect-size-gt-val.
+int intersect_size_gt_val(const SparseWordSet& a, const BitsetRow& b,
+                          std::int64_t theta);
+
+/// Word-parallel intersect-size-gt-bool (both exits, word granularity).
+bool intersect_size_gt_bool(const SparseWordSet& a, const BitsetRow& b,
+                            std::int64_t theta,
+                            bool enable_second_exit = true);
+
+/// Exact word-parallel size / extraction (the "no early exits" policy).
+std::size_t intersect_size(const SparseWordSet& a, const BitsetRow& b);
+std::size_t intersect_words(const SparseWordSet& a, const BitsetRow& b,
+                            VertexId* out);
+
+// --------------------------------------------------------------------------
+// Prefetched batch probing into a HopscotchSet.  Identical results to the
+// scalar hash kernels; home buckets are software-prefetched
+// kProbeLookahead iterations ahead so consecutive misses overlap in the
+// memory system instead of serializing on two dependent cache-line loads.
+
+/// How far ahead of the probe loop home buckets are prefetched.
+inline constexpr std::size_t kProbeLookahead = 8;
+
+int intersect_gt_prefetch(std::span<const VertexId> a, const HopscotchSet& b,
+                          VertexId* out, std::int64_t theta);
+
+int intersect_size_gt_val_prefetch(std::span<const VertexId> a,
+                                   const HopscotchSet& b, std::int64_t theta);
+
+bool intersect_size_gt_bool_prefetch(std::span<const VertexId> a,
+                                     const HopscotchSet& b, std::int64_t theta,
+                                     bool enable_second_exit = true);
+
+/// Exact batched variants (the "no early exits" policy).
+std::size_t intersect_size_prefetch(std::span<const VertexId> a,
+                                    const HopscotchSet& b);
+std::size_t intersect_hash_prefetch(std::span<const VertexId> a,
+                                    const HopscotchSet& b, VertexId* out);
 
 // --------------------------------------------------------------------------
 // Reference (naive) implementations for property tests.

@@ -10,7 +10,10 @@ namespace lazymc {
 
 bool NeighborhoodView::contains(VertexId v) const {
   if (hash_) return hash_->contains(v);
-  return std::binary_search(sorted_.begin(), sorted_.end(), v);
+  if (!sorted_.empty() || !row_.valid()) {
+    return std::binary_search(sorted_.begin(), sorted_.end(), v);
+  }
+  return row_.contains(v);
 }
 
 LazyGraph::LazyGraph(const Graph& g, const kcore::VertexOrder& order,
@@ -83,6 +86,66 @@ void LazyGraph::build_sorted(VertexId v) {
   flags_[v].fetch_or(kSortedBuilt, std::memory_order_release);
 }
 
+void LazyGraph::build_bitset(VertexId v) {
+  SpinLockGuard guard(locks_[v]);
+  if (flags_[v].load(std::memory_order_relaxed) & kBitsetBuilt) return;
+  if (bitset_exhausted_.load(std::memory_order_relaxed)) return;
+  // Reserve this row's words from the global budget before committing.
+  const std::int64_t words = static_cast<std::int64_t>(row_words_);
+  if (bitset_budget_words_.fetch_sub(words, std::memory_order_relaxed) <
+      words) {
+    bitset_budget_words_.fetch_add(words, std::memory_order_relaxed);
+    bitset_exhausted_.store(true, std::memory_order_relaxed);
+    return;
+  }
+  std::vector<VertexId> nbrs = filtered_neighbors(v);
+  std::vector<std::uint64_t>& row = row_bits_[v - zone_begin_];
+  row.assign(row_words_, 0);
+  std::uint32_t count = 0;
+  for (VertexId u : nbrs) {
+    if (u < zone_begin_) continue;
+    const VertexId off = u - zone_begin_;
+    row[off >> 6] |= 1ULL << (off & 63);
+    ++count;
+  }
+  row_count_[v - zone_begin_] = count;
+  stat_bitset_built_.fetch_add(1, std::memory_order_relaxed);
+  stat_bitset_words_.fetch_add(row_words_, std::memory_order_relaxed);
+  flags_[v].fetch_or(kBitsetBuilt, std::memory_order_release);
+}
+
+void LazyGraph::enable_bitset_rows(std::size_t budget_bytes) {
+  if (bitset_enabled_) return;
+  const VertexId bound = incumbent_size_
+                             ? incumbent_size_->load(std::memory_order_relaxed)
+                             : 0;
+  // Relabelled ids are sorted by ascending coreness (both supported
+  // orders), so the zone of interest is the suffix starting at the first
+  // vertex with coreness >= the incumbent.
+  const VertexId zb = static_cast<VertexId>(
+      std::lower_bound(coreness_new_.begin(), coreness_new_.end(), bound) -
+      coreness_new_.begin());
+  if (zb >= n_) return;  // empty zone: nothing left to search anyway
+  const VertexId zone_bits = n_ - zb;
+  // The per-vertex bookkeeping (row vector headers + popcount array) is
+  // O(zone) and allocated up front, so it counts against the budget too —
+  // otherwise a huge zone could dwarf the cap before any row is built.
+  const std::size_t overhead =
+      static_cast<std::size_t>(zone_bits) *
+      (sizeof(std::vector<std::uint64_t>) + sizeof(std::uint32_t));
+  if (budget_bytes <= overhead) return;  // zone too large for this budget
+  zone_begin_ = zb;
+  zone_bits_ = zone_bits;
+  row_words_ = (static_cast<std::size_t>(zone_bits_) + 63) / 64;
+  row_bits_.resize(zone_bits_);
+  row_count_.assign(zone_bits_, 0);
+  bitset_budget_words_.store(
+      static_cast<std::int64_t>((budget_bytes - overhead) / 8),
+      std::memory_order_relaxed);
+  bitset_exhausted_.store(false, std::memory_order_relaxed);
+  bitset_enabled_ = true;
+}
+
 const HopscotchSet& LazyGraph::hashed_neighborhood(VertexId v) {
   if (!(flags_[v].load(std::memory_order_acquire) & kHashBuilt)) {
     build_hash(v);
@@ -102,33 +165,87 @@ std::span<const VertexId> LazyGraph::right_neighborhood(VertexId v) {
   return all.subspan(right_begin_[v]);
 }
 
+BitsetRow LazyGraph::bitset_row(VertexId v) {
+  if (!bitset_enabled_ || v < zone_begin_) return {};
+  if (!(flags_[v].load(std::memory_order_acquire) & kBitsetBuilt)) {
+    build_bitset(v);
+    if (!(flags_[v].load(std::memory_order_acquire) & kBitsetBuilt)) {
+      return {};  // budget exhausted
+    }
+  }
+  return row_view(v);
+}
+
 NeighborhoodView LazyGraph::membership(VertexId v) {
   std::uint8_t f = flags_[v].load(std::memory_order_acquire);
-  if (f & kHashBuilt) return NeighborhoodView(&hash_[v], {});
+  const BitsetRow row = (f & kBitsetBuilt) ? row_view(v) : BitsetRow{};
+  if (f & kHashBuilt) return NeighborhoodView(&hash_[v], {}, row);
   if (f & kSortedBuilt) {
-    return NeighborhoodView(nullptr, {sorted_[v].data(), sorted_[v].size()});
+    return NeighborhoodView(nullptr, {sorted_[v].data(), sorted_[v].size()},
+                            row);
   }
-  // Neither exists: pick by degree (paper: hash when degree > 16).
-  if (original_degree(v) > kHashDegreeThreshold) {
+  if (row.valid()) return NeighborhoodView(nullptr, {}, row);
+
+  // Nothing exists yet: build by preference.
+  if (rep_ == NeighborhoodRep::kHash) {
     return NeighborhoodView(&hashed_neighborhood(v), {});
   }
-  auto s = sorted_neighborhood(v);
-  return NeighborhoodView(nullptr, s);
+  if (rep_ == NeighborhoodRep::kSorted) {
+    return NeighborhoodView(nullptr, sorted_neighborhood(v));
+  }
+  if (rep_ == NeighborhoodRep::kBitset) {
+    BitsetRow r = bitset_row(v);
+    if (r.valid()) return NeighborhoodView(nullptr, {}, r);
+    // Out of zone or budget: fall through to the auto rule.
+  }
+  // Auto rule (paper: hash when degree > 16), upgraded to a bitset row
+  // when one is available and no more expensive to build than the set.
+  const VertexId deg = original_degree(v);
+  if (deg > kHashDegreeThreshold) {
+    if (auto_wants_bitset(v, deg)) {
+      BitsetRow r = bitset_row(v);
+      if (r.valid()) return NeighborhoodView(nullptr, {}, r);
+    }
+    return NeighborhoodView(&hashed_neighborhood(v), {});
+  }
+  return NeighborhoodView(nullptr, sorted_neighborhood(v));
 }
 
 void LazyGraph::prepopulate(Prepopulate policy, VertexId must_threshold) {
   if (policy == Prepopulate::kNone) return;
   parallel_for(0, n_, [&](std::size_t i) {
     VertexId v = static_cast<VertexId>(i);
-    if (policy == Prepopulate::kAll || coreness_new_[v] >= must_threshold) {
-      hashed_neighborhood(v);
+    if (policy != Prepopulate::kAll && coreness_new_[v] < must_threshold) {
+      return;
     }
+    // Build the preferred representation; hash is the historical default
+    // and the fallback when a requested bitset row is unavailable.
+    switch (rep_) {
+      case NeighborhoodRep::kSorted:
+        sorted_neighborhood(v);
+        return;
+      case NeighborhoodRep::kBitset:
+        if (bitset_row(v).valid()) return;
+        break;
+      case NeighborhoodRep::kAuto:
+        if (auto_wants_bitset(v, original_degree(v)) &&
+            bitset_row(v).valid()) {
+          return;
+        }
+        break;
+      case NeighborhoodRep::kHash:
+        break;
+    }
+    hashed_neighborhood(v);
   }, 64);
 }
 
 LazyGraph::Stats LazyGraph::stats() const {
   return Stats{stat_hash_built_.load(std::memory_order_relaxed),
                stat_sorted_built_.load(std::memory_order_relaxed),
+               stat_bitset_built_.load(std::memory_order_relaxed),
+               stat_bitset_words_.load(std::memory_order_relaxed) * 8,
+               bitset_enabled_ ? static_cast<std::size_t>(zone_bits_) : 0,
                stat_kept_.load(std::memory_order_relaxed),
                stat_filtered_.load(std::memory_order_relaxed)};
 }

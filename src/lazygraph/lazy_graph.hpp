@@ -11,16 +11,30 @@
 //    shrinks, so anything filtered now is irrelevant forever.
 //  * Hashed sets: hopscotch sets enable O(|A|) intersections.
 //
-// Both a hash-set and a sorted-array representation may exist per vertex;
-// they may have been filtered against different incumbent sizes.  That is
-// deliberate and safe: discrepancies involve only vertices that can no
-// longer affect the search (Section IV-A).
+// Three neighborhood representations may exist per vertex:
+//  * a hopscotch hash set (O(1) probes, ~6 bytes/neighbor),
+//  * a sorted array (merge/galloping intersections, right-neighborhoods),
+//  * a packed 64-bit bitset row over the *zone of interest* — the suffix
+//    of relabelled ids whose coreness was >= the incumbent when
+//    enable_bitset_rows() was called.  Rows turn |A ∩ B| > θ queries into
+//    one AND + popcount per occupied word of A (see intersect/bitset_row
+//    .hpp) and cost zone_size/8 bytes each, capped by a global budget.
+//
+// Any subset may have been built, each filtered against a possibly
+// different incumbent size.  That is deliberate and safe: discrepancies
+// involve only vertices that can no longer affect the search (Section
+// IV-A); the bitset rows' zone clipping is the same argument one step
+// further (out-of-zone vertices had coreness below the incumbent at
+// enable time).
 //
 // Thread-safety: any number of threads may call the accessors
 // concurrently; construction is serialized per-vertex with double-checked
 // locking (flag read with acquire, publish with release).
+// enable_bitset_rows / set_preferred_rep must be called before concurrent
+// use begins.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <span>
@@ -28,6 +42,7 @@
 
 #include "graph/graph.hpp"
 #include "hashset/hopscotch_set.hpp"
+#include "intersect/bitset_row.hpp"
 #include "kcore/order.hpp"
 #include "support/spinlock.hpp"
 
@@ -40,22 +55,40 @@ enum class Prepopulate {
   kAll,           // eager: prebuild every vertex's hash set
 };
 
-/// A membership view over whichever representation a vertex has.  Satisfies
-/// the MembershipSet concept used by the intersection kernels.
+/// Which representation `membership()` builds when a vertex has none yet.
+enum class NeighborhoodRep {
+  kAuto,    // degree rule; prefer a bitset row when it is cheap (default)
+  kHash,    // always a hopscotch set
+  kSorted,  // always a sorted array
+  kBitset,  // a bitset row whenever possible (zone + budget permitting)
+};
+
+/// A membership view over whichever representations a vertex has.
+/// Satisfies the MembershipSet concept used by the intersection kernels;
+/// the adaptive dispatcher (mc::IntersectPolicy) inspects the individual
+/// representations to pick a kernel.
 class NeighborhoodView {
  public:
-  NeighborhoodView(const HopscotchSet* hash, std::span<const VertexId> sorted)
-      : hash_(hash), sorted_(sorted) {}
+  NeighborhoodView(const HopscotchSet* hash, std::span<const VertexId> sorted,
+                   BitsetRow row = {})
+      : hash_(hash), sorted_(sorted), row_(row) {}
 
   bool contains(VertexId v) const;
   std::size_t size() const {
-    return hash_ ? hash_->size() : sorted_.size();
+    if (hash_) return hash_->size();
+    if (!sorted_.empty() || !row_.valid()) return sorted_.size();
+    return row_.size();
   }
   bool is_hashed() const { return hash_ != nullptr; }
+  const HopscotchSet* hash_set() const { return hash_; }
+  std::span<const VertexId> sorted() const { return sorted_; }
+  bool has_bitset() const { return row_.valid(); }
+  const BitsetRow& bitset() const { return row_; }
 
  private:
   const HopscotchSet* hash_;  // preferred when present
   std::span<const VertexId> sorted_;
+  BitsetRow row_;
 };
 
 class LazyGraph {
@@ -93,9 +126,9 @@ class LazyGraph {
   /// the sorted representation.
   std::span<const VertexId> right_neighborhood(VertexId v);
 
-  /// "Either representation" accessor: returns whatever exists, preferring
-  /// the hash set; if neither exists, builds a hash set for high-degree
-  /// vertices and a sorted array otherwise.
+  /// "Either representation" accessor: returns whatever exists (all built
+  /// forms are exposed so the kernel dispatcher can choose); if nothing
+  /// exists, builds one according to the preferred representation.
   NeighborhoodView membership(VertexId v);
 
   /// True when the respective representation has been constructed.
@@ -105,17 +138,49 @@ class LazyGraph {
   bool has_sorted(VertexId v) const {
     return flags_[v].load(std::memory_order_acquire) & kSortedBuilt;
   }
+  bool has_bitset(VertexId v) const {
+    return flags_[v].load(std::memory_order_acquire) & kBitsetBuilt;
+  }
 
-  /// Prebuilds hash neighborhoods according to `policy`; the must-subgraph
+  // ---- bitset rows over the zone of interest -----------------------------
+
+  /// Fixes the zone of interest to the relabelled ids whose coreness is >=
+  /// the incumbent *now* and allows bitset rows to be built for them, up
+  /// to `budget_bytes` of total memory (the O(zone) bookkeeping allocated
+  /// here is charged against the budget, the rest caps row storage).
+  /// Call once, before the graph is used concurrently; a no-op when the
+  /// zone is empty or the bookkeeping alone would bust the budget.
+  void enable_bitset_rows(std::size_t budget_bytes);
+
+  bool bitset_enabled() const { return bitset_enabled_; }
+  /// First relabelled id inside the zone (zone = [zone_begin, n)).
+  VertexId zone_begin() const { return zone_begin_; }
+  /// Zone size in vertices (= bits per row).
+  VertexId zone_size() const { return zone_bits_; }
+
+  /// The packed filtered neighborhood of v over the zone; builds on first
+  /// use.  Returns an invalid row when rows are disabled, v lies outside
+  /// the zone, or the memory budget is exhausted.
+  BitsetRow bitset_row(VertexId v);
+
+  /// Representation `membership()` builds when a vertex has none.
+  void set_preferred_rep(NeighborhoodRep rep) { rep_ = rep; }
+  NeighborhoodRep preferred_rep() const { return rep_; }
+
+  /// Prebuilds neighborhoods according to `policy`; the must-subgraph
   /// policy builds vertices with coreness >= threshold (paper Section V-C:
   /// the must subgraph w.r.t. the incumbent found by degree-based
-  /// heuristic search).  Runs in parallel.
+  /// heuristic search).  The representation follows the preferred-rep
+  /// rule (bitset rows when enabled and cheap).  Runs in parallel.
   void prepopulate(Prepopulate policy, VertexId must_threshold);
 
   /// Instrumentation.
   struct Stats {
     std::size_t hash_built = 0;
     std::size_t sorted_built = 0;
+    std::size_t bitset_built = 0;
+    std::size_t bitset_bytes = 0;  // row storage actually committed
+    std::size_t zone_size = 0;     // bits per row (0 = rows disabled)
     std::size_t neighbors_kept = 0;
     std::size_t neighbors_filtered = 0;
   };
@@ -124,12 +189,31 @@ class LazyGraph {
  private:
   static constexpr std::uint8_t kHashBuilt = 1;
   static constexpr std::uint8_t kSortedBuilt = 2;
+  static constexpr std::uint8_t kBitsetBuilt = 4;
 
   /// Builds the filtered relabelled neighbor list of v (unsorted).
   std::vector<VertexId> filtered_neighbors(VertexId v) const;
 
   void build_hash(VertexId v);
   void build_sorted(VertexId v);
+  /// Attempts to build v's bitset row (budget permitting); the kBitsetBuilt
+  /// flag reports success.
+  void build_bitset(VertexId v);
+
+  /// Whether the auto rule prefers a bitset row for v: enabled, in zone,
+  /// budget not exhausted, and the row build cost (zone_words memset) is
+  /// within a small factor of the hash-set build cost (degree inserts).
+  bool auto_wants_bitset(VertexId v, VertexId degree) const {
+    return bitset_enabled_ && v >= zone_begin_ &&
+           !bitset_exhausted_.load(std::memory_order_relaxed) &&
+           row_words_ <= std::max<std::size_t>(64, 4 * std::size_t{degree});
+  }
+
+  BitsetRow row_view(VertexId v) const {
+    const VertexId i = v - zone_begin_;
+    return BitsetRow{row_bits_[i].data(), zone_begin_, zone_bits_,
+                     row_count_[i]};
+  }
 
   const Graph* base_;
   const kcore::VertexOrder* order_;
@@ -143,9 +227,22 @@ class LazyGraph {
   std::vector<std::vector<VertexId>> sorted_;
   std::vector<std::uint32_t> right_begin_;  // index into sorted_[v] where u > v
 
+  // bitset rows (zone-indexed: entry i is relabelled vertex zone_begin_+i)
+  NeighborhoodRep rep_ = NeighborhoodRep::kAuto;
+  bool bitset_enabled_ = false;
+  VertexId zone_begin_ = 0;
+  VertexId zone_bits_ = 0;
+  std::size_t row_words_ = 0;
+  std::atomic<std::int64_t> bitset_budget_words_{0};
+  std::atomic<bool> bitset_exhausted_{false};
+  std::vector<std::vector<std::uint64_t>> row_bits_;
+  std::vector<std::uint32_t> row_count_;
+
   // stats counters (relaxed)
   mutable std::atomic<std::size_t> stat_hash_built_{0};
   mutable std::atomic<std::size_t> stat_sorted_built_{0};
+  mutable std::atomic<std::size_t> stat_bitset_built_{0};
+  mutable std::atomic<std::size_t> stat_bitset_words_{0};
   mutable std::atomic<std::size_t> stat_kept_{0};
   mutable std::atomic<std::size_t> stat_filtered_{0};
 };

@@ -15,7 +15,9 @@ LazyMCResult lazy_mc(const Graph& g, const LazyMCConfig& config) {
   if (g.num_vertices() == 0) return result;
 
   SolveControl control(config.time_limit_seconds);
+  SearchStats stats;  // declared early: kernel counters span all phases
   IntersectPolicy policy{config.early_exit_intersections, config.second_exit};
+  policy.counters = &stats.kernels;
   Incumbent incumbent;
   WallTimer timer;
 
@@ -47,6 +49,14 @@ LazyMCResult lazy_mc(const Graph& g, const LazyMCConfig& config) {
 
   // ---- 4. lazy graph + optional must-subgraph prepopulation ------------
   LazyGraph lazy(g, order, core.coreness, &incumbent.size_atomic());
+  lazy.set_preferred_rep(config.neighborhood_rep);
+  // Bitset rows cover the zone of interest fixed by the incumbent the
+  // degree heuristic found; forcing hash/sorted turns them off entirely.
+  if (config.bitset_budget_bytes > 0 &&
+      (config.neighborhood_rep == NeighborhoodRep::kAuto ||
+       config.neighborhood_rep == NeighborhoodRep::kBitset)) {
+    lazy.enable_bitset_rows(config.bitset_budget_bytes);
+  }
   lazy.prepopulate(config.prepopulate, /*must_threshold=*/incumbent.size());
   result.phases.must_subgraph = timer.lap();
 
@@ -62,13 +72,13 @@ LazyMCResult lazy_mc(const Graph& g, const LazyMCConfig& config) {
   result.phases.coreness_heuristic = timer.lap();
 
   // ---- 6. systematic search --------------------------------------------
-  SearchStats stats;
   {
     NeighborSearchOptions n;
     n.density_threshold = config.density_threshold;
     n.degree_filter_rounds = config.degree_filter_rounds;
     n.color_prune = config.color_prune;
     n.vc_node_budget_per_vertex = config.vc_node_budget_per_vertex;
+    n.pre_extraction_density = config.pre_extraction_density;
     n.intersect = policy;
     n.control = &control;
     systematic_search(lazy, incumbent, n, stats);
@@ -88,6 +98,12 @@ LazyMCResult lazy_mc(const Graph& g, const LazyMCConfig& config) {
   result.search.solved_vc = stats.solved_vc.load();
   result.search.vc_fallbacks = stats.vc_fallbacks.load();
   result.search.retired_chunks = stats.retired_chunks.load();
+  result.search.kernel_merge = stats.kernels.merge.load();
+  result.search.kernel_gallop = stats.kernels.gallop.load();
+  result.search.kernel_hash = stats.kernels.hash.load();
+  result.search.kernel_hash_batched = stats.kernels.hash_batched.load();
+  result.search.kernel_bitset_probe = stats.kernels.bitset_probe.load();
+  result.search.kernel_bitset_word = stats.kernels.bitset_word.load();
   result.search.filter_seconds = stats.filter_seconds();
   result.search.mc_seconds = stats.mc_seconds();
   result.search.vc_seconds = stats.vc_seconds();

@@ -56,9 +56,20 @@ struct LazyMCConfig {
   std::uint64_t vc_node_budget_per_vertex = 2000;
   /// Prepopulation policy for the lazy graph (Fig. 4 ablation).
   Prepopulate prepopulate = Prepopulate::kMustSubgraph;
+  /// Neighborhood representation the lazy graph builds on first use:
+  /// kAuto (degree rule, bitset rows when cheap), or force kHash /
+  /// kSorted / kBitset.  kHash and kSorted also disable bitset rows
+  /// entirely ("bitset off" in ablations).
+  NeighborhoodRep neighborhood_rep = NeighborhoodRep::kAuto;
+  /// Memory budget for bitset rows over the zone of interest, in bytes;
+  /// 0 disables the bitset representation.
+  std::size_t bitset_budget_bytes = std::size_t{64} << 20;
   /// Early-exit intersection toggles (Fig. 5 ablation).
   bool early_exit_intersections = true;
   bool second_exit = true;
+  /// Route the MC-vs-VC choice on filter 3's pre-extraction edge estimate
+  /// instead of the extracted subgraph's exact density (paper ordering).
+  bool pre_extraction_density = false;
   /// Wall-clock limit in seconds (Table II uses 1800 in the paper).
   double time_limit_seconds = std::numeric_limits<double>::infinity();
 };
@@ -87,6 +98,13 @@ struct SearchStatsSnapshot {
   std::uint64_t solved_vc = 0;
   std::uint64_t vc_fallbacks = 0;
   std::uint64_t retired_chunks = 0;
+  // Adaptive-dispatch kernel counts (KernelCounters snapshot).
+  std::uint64_t kernel_merge = 0;
+  std::uint64_t kernel_gallop = 0;
+  std::uint64_t kernel_hash = 0;
+  std::uint64_t kernel_hash_batched = 0;
+  std::uint64_t kernel_bitset_probe = 0;
+  std::uint64_t kernel_bitset_word = 0;
   double filter_seconds = 0;
   double mc_seconds = 0;
   double vc_seconds = 0;

@@ -1,6 +1,7 @@
 #include "mc/neighbor_search.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <utility>
 
 #include "graph/subgraph.hpp"
@@ -14,23 +15,60 @@ std::uint64_t to_ns(double seconds) {
   return static_cast<std::uint64_t>(seconds * 1e9);
 }
 
-/// Extracts the dense subgraph induced by `members` (relabelled ids) into
-/// the pooled `out`, using the lazy graph's membership structures rather
-/// than the base CSR: this honours construction-time filtering and builds
-/// hash sets only for the few vertices that reach a detailed search.
+/// Extracts the dense subgraph induced by `members` (relabelled ids,
+/// sorted ascending) into the pooled `out`, using the lazy graph's
+/// membership structures rather than the base CSR: this honours
+/// construction-time filtering and builds neighborhoods only for the few
+/// vertices that reach a detailed search.
+///
+/// Rows backed by a bitset are filled word-wise: the members' own word
+/// form (scratch.a_words) is ANDed against the row, and each surviving
+/// bit is mapped back to its local index with a monotone cursor (hits and
+/// members share the ascending relabelled order).  Rows without a bitset
+/// fall back to per-pair membership probes.
 void induce_from_lazy(LazyGraph& h, const std::vector<VertexId>& members,
-                      DenseSubgraph& out) {
+                      DenseSubgraph& out, SearchScratch& scratch) {
   const std::size_t n = members.size();
   out.reset_pooled(n);
   out.vertices.assign(members.begin(), members.end());
   EdgeId m = 0;
+  const bool words_ready = h.bitset_enabled() && n >= 2;
+  if (words_ready) {
+    scratch.a_words.build({members.data(), members.size()}, h.zone_begin());
+  }
+  const VertexId zone_begin = h.zone_begin();
   for (std::size_t i = 0; i < n; ++i) {
     NeighborhoodView view = h.membership(members[i]);
-    for (std::size_t j = i + 1; j < n; ++j) {
-      if (view.contains(members[j])) {
-        out.adj[i].set(j);
-        out.adj[j].set(i);
-        ++m;
+    if (words_ready && view.has_bitset()) {
+      const BitsetRow& row = view.bitset();
+      // Only offsets strictly above members[i] (locals j > i).
+      const VertexId off_i = members[i] - zone_begin;
+      const std::uint32_t first_word = off_i >> 6;
+      const std::uint64_t first_mask = ~((2ULL << (off_i & 63)) - 1);
+      std::size_t j = i + 1;
+      for (const SparseWordSet::Entry& e : scratch.a_words.entries()) {
+        if (e.index < first_word) continue;
+        std::uint64_t hits = e.bits & row.words[e.index];
+        if (e.index == first_word) hits &= first_mask;
+        while (hits) {
+          const unsigned bit =
+              static_cast<unsigned>(std::countr_zero(hits));
+          const VertexId u = zone_begin +
+                             (static_cast<VertexId>(e.index) << 6) + bit;
+          while (members[j] < u) ++j;  // monotone: hits ⊆ members, ascending
+          out.adj[i].set(j);
+          out.adj[j].set(i);
+          ++m;
+          hits &= hits - 1;
+        }
+      }
+    } else {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (view.contains(members[j])) {
+          out.adj[i].set(j);
+          out.adj[j].set(i);
+          ++m;
+        }
       }
     }
   }
@@ -88,15 +126,21 @@ void neighbor_search(LazyGraph& h, VertexId v, Incumbent& incumbent,
   stats.pass_filter1.fetch_add(1, std::memory_order_relaxed);
 
   // ---- filter 2: induced degree, boolean test (lines 4-7) --------------
+  // The word form of n_set feeds the bitset kernels whenever a candidate's
+  // membership view carries a bitset row (n_set ⊆ zone: every survivor of
+  // filter 1 has coreness >= bound >= the bound when rows were enabled).
+  const bool zone_kernels = h.bitset_enabled();
+  const SparseWordSet* a_words = zone_kernels ? &scratch.a_words : nullptr;
   std::vector<VertexId>& kept = scratch.kept;
   {
     kept.clear();
     kept.reserve(n_set.size());
     std::span<const VertexId> n_span(n_set);
+    if (zone_kernels) scratch.a_words.build(n_span, h.zone_begin());
     std::int64_t theta = static_cast<std::int64_t>(bound) - 2;
     for (VertexId u : n_set) {
       NeighborhoodView u_nbrs = h.membership(u);
-      if (options.intersect.size_gt_bool(n_span, u_nbrs, theta)) {
+      if (options.intersect.size_gt_bool(n_span, u_nbrs, theta, a_words)) {
         kept.push_back(u);
       }
     }
@@ -121,10 +165,11 @@ void neighbor_search(LazyGraph& h, VertexId v, Incumbent& incumbent,
     kept.clear();
     kept.reserve(n_set.size());
     std::span<const VertexId> n_span(n_set);
+    if (zone_kernels) scratch.a_words.build(n_span, h.zone_begin());
     std::int64_t theta = static_cast<std::int64_t>(bound) - 2;
     for (VertexId u : n_set) {
       NeighborhoodView u_nbrs = h.membership(u);
-      int d = options.intersect.size_gt_val(n_span, u_nbrs, theta);
+      int d = options.intersect.size_gt_val(n_span, u_nbrs, theta, a_words);
       if (d != kTooSmall) {
         kept.push_back(u);
         m_hat += d;
@@ -142,13 +187,17 @@ void neighbor_search(LazyGraph& h, VertexId v, Incumbent& incumbent,
   stats.pass_filter3.fetch_add(1, std::memory_order_relaxed);
 
   // ---- algorithmic choice (lines 14-17) ---------------------------------
-  // m_hat/(n(n-1)) is the paper's pre-extraction estimate; since the dense
-  // subgraph is materialized for either solver anyway, the exact density is
-  // available at no extra cost and keeps the phi scale meaningful ([0,1]).
-  (void)m_hat;
   DenseSubgraph& sub = scratch.sub;
-  induce_from_lazy(h, n_set, sub);
-  const double density = sub.density();
+  induce_from_lazy(h, n_set, sub, scratch);
+  // m̂/(n(n-1)) is the paper's pre-extraction estimate (m̂ sums directed
+  // degrees, so it is ~2m̂_edges); the default uses the extracted
+  // subgraph's exact density, which is available at no extra cost and
+  // keeps the phi scale meaningful ([0,1]).
+  double density = sub.density();
+  if (options.pre_extraction_density && n_set.size() >= 2) {
+    const double nn = static_cast<double>(n_set.size());
+    density = m_hat / (nn * (nn - 1.0));
+  }
   stats.filter_ns.fetch_add(to_ns(timer.lap()), std::memory_order_relaxed);
 
   // A clique K in G[N] with |K| > |C*| - 1 yields {v} ∪ K with size > |C*|.

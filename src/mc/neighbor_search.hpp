@@ -57,6 +57,9 @@ struct SearchStats {
   // Worklist chunks retired unvisited because the incumbent had grown
   // past their coreness by claim time (incumbent broadcast at work).
   std::atomic<std::uint64_t> retired_chunks{0};
+  // Where the adaptive dispatcher ran each intersection (wired into every
+  // IntersectPolicy used by the solve; see mc/intersect_policy.hpp).
+  KernelCounters kernels;
   // Work split in seconds (Fig. 3) and node counts (Fig. 6).
   std::atomic<std::uint64_t> filter_ns{0};
   std::atomic<std::uint64_t> mc_ns{0};
@@ -83,6 +86,7 @@ struct SearchScratch {
   std::vector<VertexId> n_set;    // surviving candidates
   std::vector<VertexId> kept;     // filter output, swapped with n_set
   std::vector<VertexId> clique;   // publish staging (original ids)
+  SparseWordSet a_words;          // word form of n_set for bitset kernels
   DenseSubgraph sub;              // pooled induced subgraph
   DynamicBitset all;              // full candidate set for color_prune
   ColorScratch color;             // greedy-coloring buffers
@@ -115,6 +119,13 @@ struct NeighborSearchOptions {
   /// "a precise prediction of what algorithm is most efficient is
   /// challenging" — this bounds the cost of a misprediction.
   std::uint64_t vc_node_budget_per_vertex = 2000;
+  /// Route the MC-vs-VC choice on the paper's pre-extraction density
+  /// estimate m̂ (accumulated by filter 3) instead of the extracted
+  /// subgraph's exact density.  Off by default: the dense subgraph is
+  /// materialized for either solver anyway, so the exact value is free
+  /// and keeps the phi scale meaningful; this option exists to reproduce
+  /// the paper's ordering (estimate first, extraction after).
+  bool pre_extraction_density = false;
   IntersectPolicy intersect;
   const SolveControl* control = nullptr;
 };

@@ -20,10 +20,18 @@ class Searcher {
     for (std::size_t v = 0; v < n; ++v) {
       if (g_.adj[v].any()) alive.set(v);  // degree-0 never matters
     }
+    // Root degrees: the only full recount of the whole solve; every
+    // branch copies and decrements from here.
+    std::vector<VertexId>& deg = scratch_.root_deg;
+    deg.assign(n, 0);
+    for (std::size_t v = alive.find_first(); v < alive.size();
+         v = alive.find_next(v)) {
+      deg[v] = static_cast<VertexId>(g_.adj[v].count_and(alive));
+    }
     KvcResult out;
     std::vector<VertexId>& cover = scratch_.cover;
     cover.clear();
-    out.feasible = search(alive, k, cover, 0);
+    out.feasible = search(alive, deg, k, cover, 0);
     if (timed_out_ || budget_exhausted_) out.feasible = false;
     if (out.feasible) out.cover.assign(cover.begin(), cover.end());
     out.nodes = nodes_;
@@ -33,8 +41,20 @@ class Searcher {
   }
 
  private:
-  std::size_t degree(const DynamicBitset& alive, std::size_t v) const {
-    return g_.adj[v].count_and(alive);
+  /// Removes v from alive and decrements its alive neighbors' degrees.
+  void remove_vertex(DynamicBitset& alive, std::vector<VertexId>& deg,
+                     std::size_t v) const {
+    alive.reset(v);
+    const DynamicBitset& row = g_.adj[v];
+    for (std::size_t w = 0; w < row.num_words(); ++w) {
+      std::uint64_t both = row.word(w) & alive.word(w);
+      while (both) {
+        const unsigned bit = static_cast<unsigned>(__builtin_ctzll(both));
+        --deg[w * 64 + bit];
+        both &= both - 1;
+      }
+    }
+    deg[v] = 0;
   }
 
   /// Size of a greedily built maximal matching among alive vertices.
@@ -132,9 +152,10 @@ class Searcher {
     }
   }
 
-  /// `alive` belongs to this call and is mutated freely (kernelisation);
-  /// the caller keeps its own copy for building its second branch.
-  bool search(DynamicBitset& alive, std::int64_t k,
+  /// `alive` and its paired degree array `deg` belong to this call and are
+  /// mutated freely (kernelisation); the caller keeps its own copies for
+  /// building its second branch.
+  bool search(DynamicBitset& alive, std::vector<VertexId>& deg, std::int64_t k,
               std::vector<VertexId>& cover, std::size_t depth) {
     ++nodes_;
     if (opt_.control && opt_.control->should_stop(stop_counter_)) {
@@ -155,12 +176,12 @@ class Searcher {
       }
       std::size_t max_deg = 0, max_v = alive.size();
       std::size_t edges2 = 0;  // 2x edge count among alive
-      std::size_t pending = alive.size();
       bool changed = false;
 
       for (std::size_t v = alive.find_first(); v < alive.size();
            v = alive.find_next(v)) {
-        std::size_t d = degree(alive, v);
+        // Incrementally maintained — no count_and per vertex per round.
+        std::size_t d = deg[v];
         if (d == 0) {
           alive.reset(v);
           continue;
@@ -169,7 +190,7 @@ class Searcher {
         if (d > static_cast<std::size_t>(k)) {
           // Buss rule: v must be in every k-cover.
           cover.push_back(static_cast<VertexId>(v));
-          alive.reset(v);
+          remove_vertex(alive, deg, v);
           --k;
           changed = true;
           break;
@@ -185,8 +206,8 @@ class Searcher {
             }
           }
           cover.push_back(static_cast<VertexId>(u));
-          alive.reset(u);
-          alive.reset(v);
+          remove_vertex(alive, deg, u);
+          remove_vertex(alive, deg, v);
           --k;
           changed = true;
           break;
@@ -208,9 +229,9 @@ class Searcher {
           if (u2 != alive.size() && g_.adj[u1].test(u2)) {
             cover.push_back(static_cast<VertexId>(u1));
             cover.push_back(static_cast<VertexId>(u2));
-            alive.reset(u1);
-            alive.reset(u2);
-            alive.reset(v);
+            remove_vertex(alive, deg, u1);
+            remove_vertex(alive, deg, u2);
+            remove_vertex(alive, deg, v);
             k -= 2;
             changed = true;
             break;
@@ -220,7 +241,6 @@ class Searcher {
           max_deg = d;
           max_v = v;
         }
-        (void)pending;
       }
       if (changed) continue;
 
@@ -260,16 +280,18 @@ class Searcher {
       }
 
       // ---- branch on the max-degree vertex ----------------------------
-      // Both branches borrow this depth's pooled bitset: branch 1's
-      // recursion may mutate it, so branch 2 re-copies from `alive`
-      // (which callees never touch) before reusing it.
+      // Both branches borrow this depth's pooled bitset + degree array:
+      // branch 1's recursion may mutate them, so branch 2 re-copies from
+      // `alive`/`deg` (which callees never touch) before reusing them.
       DynamicBitset& next = scratch_.frames[depth].branch;
+      std::vector<VertexId>& next_deg = scratch_.frames[depth].deg;
       // Branch 1: max_v in the cover.
       {
         next = alive;
-        next.reset(max_v);
+        next_deg = deg;
+        remove_vertex(next, next_deg, max_v);
         cover.push_back(static_cast<VertexId>(max_v));
-        if (search(next, k - 1, cover, depth + 1)) return true;
+        if (search(next, next_deg, k - 1, cover, depth + 1)) return true;
         cover.pop_back();
         if (timed_out_ || budget_exhausted_) {
           cover.resize(checkpoint);
@@ -279,17 +301,19 @@ class Searcher {
       // Branch 2: N(max_v) in the cover.
       {
         next = alive;
+        next_deg = deg;
         std::size_t taken = 0;
         std::size_t before = cover.size();
         for (std::size_t u = g_.adj[max_v].find_first();
              u < g_.adj[max_v].size(); u = g_.adj[max_v].find_next(u)) {
           if (!alive.test(u)) continue;
           cover.push_back(static_cast<VertexId>(u));
-          next.reset(u);
+          remove_vertex(next, next_deg, u);
           ++taken;
         }
-        next.reset(max_v);
-        if (search(next, k - static_cast<std::int64_t>(taken), cover,
+        next.reset(max_v);  // degree already 0: all neighbors removed
+        next_deg[max_v] = 0;
+        if (search(next, next_deg, k - static_cast<std::int64_t>(taken), cover,
                    depth + 1)) {
           return true;
         }

@@ -41,16 +41,24 @@ struct KvcOptions {
   std::uint64_t max_nodes = 0;
 };
 
-/// Reusable state for solve_kvc: one branch bitset per recursion depth
-/// plus the root/matching/path-solver bitsets and the working cover.
-/// Keep one per thread; once capacities reach the high-water mark,
-/// infeasible probes (the steady state of MC-via-VC) allocate nothing.
+/// Reusable state for solve_kvc: one branch bitset + degree array per
+/// recursion depth plus the root/matching/path-solver bitsets and the
+/// working cover.  Keep one per thread; once capacities reach the
+/// high-water mark, infeasible probes (the steady state of MC-via-VC)
+/// allocate nothing.
+///
+/// Degrees are maintained *incrementally*: computed once at the root
+/// (one count_and per vertex), copied O(n) into each branch's frame, and
+/// decremented along adjacency rows as kernelisation/branching removes
+/// vertices — the kernel rounds never recount a row.
 struct KvcScratch {
   struct Frame {
     DynamicBitset branch;
+    std::vector<VertexId> deg;  // alive-degree snapshot for this branch
   };
   std::vector<Frame> frames;
   DynamicBitset root;
+  std::vector<VertexId> root_deg;
   DynamicBitset matching_free;
   DynamicBitset deg2;
   std::vector<VertexId> cover;

@@ -1,0 +1,207 @@
+// Suite-wide correctness of the bitset-row representation: omega must be
+// identical with bitset rows forced on, forced off, and chosen adaptively,
+// at 1, 2 and 8 threads — plus unit coverage of the zone/budget semantics
+// of LazyGraph::enable_bitset_rows.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "graph/generators.hpp"
+#include "graph/suite.hpp"
+#include "kcore/kcore.hpp"
+#include "kcore/order.hpp"
+#include "mc/lazymc.hpp"
+#include "support/parallel.hpp"
+
+namespace lazymc {
+namespace {
+
+class RepSweepTest : public testing::TestWithParam<std::string> {
+ protected:
+  void TearDown() override { set_num_threads(0); }
+};
+
+TEST_P(RepSweepTest, OmegaIdenticalWithBitsetRowsOnAndOff) {
+  auto inst = suite::make_instance(GetParam(), suite::Scale::kTiny);
+  const Graph& g = inst.graph;
+
+  set_num_threads(1);
+  mc::LazyMCConfig off;
+  off.neighborhood_rep = NeighborhoodRep::kHash;  // rows disabled entirely
+  const auto baseline = mc::lazy_mc(g, off);
+  ASSERT_TRUE(is_clique(g, baseline.clique));
+
+  for (std::size_t threads : {1, 2, 8}) {
+    set_num_threads(threads);
+    for (NeighborhoodRep rep : {NeighborhoodRep::kBitset,
+                                NeighborhoodRep::kAuto,
+                                NeighborhoodRep::kHash}) {
+      mc::LazyMCConfig cfg;
+      cfg.neighborhood_rep = rep;
+      auto r = mc::lazy_mc(g, cfg);
+      EXPECT_EQ(r.omega, baseline.omega)
+          << GetParam() << " threads=" << threads
+          << " rep=" << static_cast<int>(rep);
+      EXPECT_TRUE(is_clique(g, r.clique));
+      EXPECT_FALSE(r.timed_out);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInstances, RepSweepTest,
+                         testing::ValuesIn(suite::instance_names()),
+                         [](const testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(RepSweep, TinyBudgetStillCorrectAndPreDensityAgrees) {
+  // A 1 KB budget can hold almost no rows; dispatch must degrade to the
+  // hash/sorted kernels per vertex without changing omega.  The
+  // pre-extraction density estimate only moves the MC-vs-VC routing, so
+  // omega is invariant under it too.
+  auto inst = suite::make_instance("webcc", suite::Scale::kTiny);
+  mc::LazyMCConfig base;
+  auto expected = mc::lazy_mc(inst.graph, base).omega;
+
+  mc::LazyMCConfig tiny;
+  tiny.neighborhood_rep = NeighborhoodRep::kBitset;
+  tiny.bitset_budget_bytes = 1024;
+  EXPECT_EQ(mc::lazy_mc(inst.graph, tiny).omega, expected);
+
+  mc::LazyMCConfig zero;
+  zero.neighborhood_rep = NeighborhoodRep::kAuto;
+  zero.bitset_budget_bytes = 0;  // rows disabled
+  EXPECT_EQ(mc::lazy_mc(inst.graph, zero).omega, expected);
+
+  mc::LazyMCConfig pre;
+  pre.pre_extraction_density = true;
+  EXPECT_EQ(mc::lazy_mc(inst.graph, pre).omega, expected);
+}
+
+TEST(RepSweep, BitsetRepReportsWordKernelDispatch) {
+  // An instance whose systematic phase does real work must route filter
+  // intersections through the word-parallel kernel when rows are forced.
+  auto inst = suite::make_instance("webcc", suite::Scale::kSmall);
+  mc::LazyMCConfig cfg;
+  cfg.neighborhood_rep = NeighborhoodRep::kBitset;
+  auto r = mc::lazy_mc(inst.graph, cfg);
+  ASSERT_GT(r.search.evaluated, 0u);
+  EXPECT_GT(r.search.kernel_bitset_word, 0u);
+  EXPECT_GT(r.lazy_graph.bitset_built, 0u);
+  EXPECT_GT(r.lazy_graph.bitset_bytes, 0u);
+  EXPECT_GT(r.lazy_graph.zone_size, 0u);
+}
+
+// ---- LazyGraph zone / budget unit tests -----------------------------------
+
+struct ZoneFixture {
+  Graph g;
+  kcore::CoreDecomposition core;
+  kcore::VertexOrder order;
+  std::atomic<VertexId> incumbent{0};
+
+  explicit ZoneFixture(Graph graph) : g(std::move(graph)) {
+    core = kcore::coreness(g);
+    order = kcore::order_by_coreness_degree(g, core.coreness);
+  }
+  LazyGraph make() { return LazyGraph(g, order, core.coreness, &incumbent); }
+};
+
+TEST(LazyGraphBitset, RowMatchesSortedNeighborhoodWithinZone) {
+  ZoneFixture f(gen::gnp(80, 0.3, 555));
+  f.incumbent.store(3);
+  LazyGraph lazy = f.make();
+  lazy.enable_bitset_rows(1 << 20);
+  ASSERT_TRUE(lazy.bitset_enabled());
+  const VertexId zb = lazy.zone_begin();
+  for (VertexId v = zb; v < lazy.num_vertices(); ++v) {
+    BitsetRow row = lazy.bitset_row(v);
+    ASSERT_TRUE(row.valid());
+    EXPECT_TRUE(lazy.has_bitset(v));
+    // Built at the same incumbent, the row is exactly the sorted filtered
+    // neighborhood clipped to the zone.
+    auto sorted = lazy.sorted_neighborhood(v);
+    std::size_t in_zone = 0;
+    for (VertexId u : sorted) {
+      if (u >= zb) {
+        EXPECT_TRUE(row.contains(u)) << v << " " << u;
+        ++in_zone;
+      } else {
+        EXPECT_FALSE(row.contains(u));
+      }
+    }
+    EXPECT_EQ(row.size(), in_zone);
+  }
+}
+
+TEST(LazyGraphBitset, BudgetBelowBookkeepingDisablesRows) {
+  ZoneFixture f(gen::gnp(100, 0.3, 559));
+  LazyGraph lazy = f.make();
+  // The O(zone) bookkeeping alone exceeds a 64-byte budget: rows stay off.
+  lazy.enable_bitset_rows(/*budget_bytes=*/64);
+  EXPECT_FALSE(lazy.bitset_enabled());
+  EXPECT_FALSE(lazy.bitset_row(0).valid());
+}
+
+TEST(LazyGraphBitset, BudgetExhaustionFallsBackGracefully) {
+  ZoneFixture f(gen::gnp(100, 0.3, 556));
+  LazyGraph lazy = f.make();
+  // zone = 100 bits -> 2 words (16 bytes) per row.  Grant the bookkeeping
+  // plus one word: no complete row fits, so the first build exhausts.
+  const std::size_t bookkeeping =
+      100 * (sizeof(std::vector<std::uint64_t>) + sizeof(std::uint32_t));
+  lazy.enable_bitset_rows(bookkeeping + 8);
+  ASSERT_TRUE(lazy.bitset_enabled());
+  EXPECT_FALSE(lazy.bitset_row(0).valid());
+  EXPECT_FALSE(lazy.has_bitset(0));
+  // membership still produces a usable view.
+  NeighborhoodView view = lazy.membership(0);
+  EXPECT_FALSE(view.has_bitset());
+  EXPECT_GT(view.size(), 0u);
+  EXPECT_EQ(lazy.stats().bitset_built, 0u);
+}
+
+TEST(LazyGraphBitset, DisabledAndOutOfZoneRowsAreInvalid) {
+  ZoneFixture f(gen::gnp(40, 0.3, 557));
+  {
+    LazyGraph lazy = f.make();
+    EXPECT_FALSE(lazy.bitset_enabled());
+    EXPECT_FALSE(lazy.bitset_row(0).valid());
+    EXPECT_EQ(lazy.stats().zone_size, 0u);
+  }
+  // Raise the incumbent so part of the graph falls outside the zone.
+  ZoneFixture f2(gen::graph_union(gen::complete(8), gen::star(30)));
+  f2.incumbent.store(5);
+  LazyGraph lazy = f2.make();
+  lazy.enable_bitset_rows(1 << 20);
+  ASSERT_TRUE(lazy.bitset_enabled());
+  ASSERT_GT(lazy.zone_begin(), 0u);
+  EXPECT_FALSE(lazy.bitset_row(0).valid());  // leaf: below the zone
+  BitsetRow in_zone = lazy.bitset_row(lazy.num_vertices() - 1);
+  EXPECT_TRUE(in_zone.valid());
+}
+
+TEST(LazyGraphBitset, ForcedRepBuildsRowsInMembership) {
+  ZoneFixture f(gen::gnp(60, 0.4, 558));
+  LazyGraph lazy = f.make();
+  lazy.enable_bitset_rows(1 << 20);
+  lazy.set_preferred_rep(NeighborhoodRep::kBitset);
+  NeighborhoodView view = lazy.membership(3);
+  EXPECT_TRUE(view.has_bitset());
+  EXPECT_FALSE(view.is_hashed());
+  // contains() agrees with the base graph inside the zone (incumbent 0:
+  // nothing filtered, zone covers everything).
+  for (VertexId u = 0; u < lazy.num_vertices(); ++u) {
+    bool edge = f.g.has_edge(f.order.new_to_orig[3], f.order.new_to_orig[u]);
+    EXPECT_EQ(view.contains(u), edge) << u;
+  }
+}
+
+}  // namespace
+}  // namespace lazymc
