@@ -48,4 +48,34 @@ expect("${text_out}" "5 vertices" "DIMACS declared vertex count")
 run_lazymc(ref_out --graph "${clq}" --solver reference --json)
 expect("${ref_out}" "\"omega\":4" "DIMACS reference omega")
 
+# 4. Batch mode: a manifest plus a repeated --graph stream one JSON object
+# per instance (JSON implied, no --json needed).
+set(manifest "${WORK_DIR}/smoke_manifest.txt")
+file(WRITE "${manifest}" "# smoke manifest\ngen:webcc:tiny\n\n${clq} # trailing comment\n")
+run_lazymc(batch_out --manifest "${manifest}" --graph gen:talk:tiny
+           --threads 2)
+string(REGEX MATCHALL "\"omega\":[0-9]+" batch_omegas "${batch_out}")
+list(LENGTH batch_omegas batch_count)
+if(NOT batch_count EQUAL 3)
+  message(FATAL_ERROR "batch mode: expected 3 JSON objects, got "
+                      "${batch_count}:\n${batch_out}")
+endif()
+expect("${batch_out}" "smoke_k4" "batch mode ran the manifest's file spec")
+
+# 5. A failing instance emits an error object and a nonzero exit, without
+# aborting the rest of the batch.
+execute_process(COMMAND "${LAZYMC_BIN}" --graph gen:webcc:tiny
+                        --graph /nonexistent.clq
+                OUTPUT_VARIABLE fail_out ERROR_VARIABLE fail_err
+                RESULT_VARIABLE fail_status)
+if(fail_status EQUAL 0)
+  message(FATAL_ERROR "batch with a bad instance should exit nonzero")
+endif()
+expect("${fail_out}" "\"omega\":" "good instance still solved in failing batch")
+expect("${fail_out}" "\"error\":" "bad instance reported as an error object")
+
+# 6. Subproblem splitting forced on must not change omega.
+run_lazymc(split_out --graph "${clq}" --split on --split-min-cands 2 --json)
+expect("${split_out}" "\"omega\":4" "split-on omega")
+
 message(STATUS "cli_smoke passed")

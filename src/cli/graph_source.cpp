@@ -1,5 +1,6 @@
 #include "cli/graph_source.hpp"
 
+#include <fstream>
 #include <stdexcept>
 
 #include "graph/io.hpp"
@@ -62,6 +63,25 @@ LoadedGraph load_graph(const std::string& spec) {
   loaded.description = "file:" + spec;
   loaded.load_seconds = timer.elapsed();
   return loaded;
+}
+
+std::vector<std::string> read_manifest(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open manifest file '" + path + "'");
+  }
+  std::vector<std::string> specs;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    const auto last = line.find_last_not_of(" \t\r");
+    specs.push_back(line.substr(first, last - first + 1));
+  }
+  return specs;
 }
 
 }  // namespace lazymc::cli

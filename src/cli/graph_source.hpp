@@ -7,6 +7,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "graph/graph.hpp"
 
@@ -21,5 +22,11 @@ struct LoadedGraph {
 /// Loads the graph named by `spec`.  Throws std::runtime_error with a
 /// usable message on unknown generator names or unreadable files.
 LoadedGraph load_graph(const std::string& spec);
+
+/// Reads a batch manifest: one graph spec per line, with blank lines and
+/// '#' comments (full-line or trailing) skipped and surrounding
+/// whitespace trimmed.  Throws std::runtime_error when the file cannot
+/// be opened.
+std::vector<std::string> read_manifest(const std::string& path);
 
 }  // namespace lazymc::cli

@@ -7,6 +7,9 @@
 #include <cstdio>
 #include <exception>
 #include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "baselines/domega.hpp"
 #include "baselines/mcbrb.hpp"
@@ -18,6 +21,7 @@
 #include "mc/lazymc.hpp"
 #include "mce/mce.hpp"
 #include "support/control.hpp"
+#include "support/json.hpp"
 #include "support/parallel.hpp"
 #include "support/timer.hpp"
 
@@ -43,6 +47,14 @@ void solve_into(const Options& options, RunReport& report, const Graph& g) {
       }
       config.bitset_budget_bytes = options.bitset_budget_mb << 20;
       config.pre_extraction_density = options.pre_extraction_density;
+      switch (options.split) {
+        case Split::kAuto: config.split_mode = mc::SplitMode::kAuto; break;
+        case Split::kOn: config.split_mode = mc::SplitMode::kOn; break;
+        case Split::kOff: config.split_mode = mc::SplitMode::kOff; break;
+      }
+      config.split_depth = static_cast<unsigned>(options.split_depth);
+      config.split_min_cands =
+          static_cast<VertexId>(options.split_min_cands);
       config.time_limit_seconds = options.time_limit_seconds;
       report.lazymc = mc::lazy_mc(g, config);
       report.has_lazymc = true;
@@ -99,17 +111,10 @@ void solve_into(const Options& options, RunReport& report, const Graph& g) {
   }
 }
 
-int run(int argc, char** argv) {
-  bool wants_help = false;
-  Options options = parse_options(argc, argv, wants_help);
-  if (wants_help) {
-    std::cout << usage();
-    return 0;
-  }
-
-  set_num_threads(options.threads);
-
-  LoadedGraph loaded = load_graph(options.graph_spec);
+/// Loads and solves one instance, writing the report to stdout.
+void run_instance(const Options& options, const std::string& spec,
+                  bool json) {
+  LoadedGraph loaded = load_graph(spec);
   RunReport report;
   report.graph = loaded.description;
   report.solver = solver_name(options.solver);
@@ -122,12 +127,58 @@ int run(int argc, char** argv) {
   solve_into(options, report, loaded.graph);
   report.solve_seconds = timer.elapsed();
 
-  if (options.json) {
+  if (json) {
     render_json(report, std::cout);
   } else {
     render_text(report, std::cout);
   }
-  return 0;
+}
+
+int run(int argc, char** argv) {
+  bool wants_help = false;
+  Options options = parse_options(argc, argv, wants_help);
+  if (wants_help) {
+    std::cout << usage();
+    return 0;
+  }
+
+  set_num_threads(options.threads);
+
+  std::vector<std::string> specs = options.graph_specs;
+  if (!options.manifest_path.empty()) {
+    auto manifest = read_manifest(options.manifest_path);
+    specs.insert(specs.end(), manifest.begin(), manifest.end());
+  }
+  if (specs.empty()) {
+    throw std::runtime_error("manifest '" + options.manifest_path +
+                             "' names no instances");
+  }
+
+  if (specs.size() == 1) {
+    run_instance(options, specs[0], options.json);
+    return 0;
+  }
+
+  // Batch mode: stream one JSON object per instance (newline-delimited)
+  // so a sweep over a whole corpus is one process and one parseable
+  // stream.  A failing instance emits an error object and the sweep
+  // continues; the exit code reports whether every instance succeeded.
+  int failures = 0;
+  for (const std::string& spec : specs) {
+    try {
+      run_instance(options, spec, /*json=*/true);
+    } catch (const std::exception& e) {
+      JsonWriter w(std::cout);
+      w.open();
+      w.field("graph", spec);
+      w.field("error", e.what());
+      w.close();
+      std::cout << "\n";
+      ++failures;
+    }
+    std::cout.flush();
+  }
+  return failures == 0 ? 0 : 1;
 }
 
 }  // namespace

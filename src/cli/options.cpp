@@ -1,6 +1,8 @@
 #include "cli/options.hpp"
 
+#include <cerrno>
 #include <cstdlib>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -38,6 +40,26 @@ Rep parse_rep(const std::string& name) {
        "' (expected auto|hash|sorted|bitset)");
 }
 
+Split parse_split(const std::string& name) {
+  if (name == "auto") return Split::kAuto;
+  if (name == "on") return Split::kOn;
+  if (name == "off") return Split::kOff;
+  fail("unknown split mode '" + name + "' (expected auto|on|off)");
+}
+
+std::size_t parse_size(const std::string& flag, const std::string& v) {
+  errno = 0;
+  char* end = nullptr;
+  long n = std::strtol(v.c_str(), &end, 10);
+  // Bounding by INT_MAX also keeps later narrowing (e.g. split_depth to
+  // unsigned) exact; no flag has a meaningful value anywhere near it.
+  if (end == v.c_str() || *end != '\0' || n < 0 || errno == ERANGE ||
+      n > std::numeric_limits<int>::max()) {
+    fail(flag + " expects a non-negative integer, got '" + v + "'");
+  }
+  return static_cast<std::size_t>(n);
+}
+
 }  // namespace
 
 std::string usage() {
@@ -45,7 +67,10 @@ std::string usage() {
       "usage: lazymc --graph <file|gen:name[:scale]> [options]\n"
       "\n"
       "Loads a graph and computes its maximum clique (or enumerates its\n"
-      "maximal cliques with --solver mce).\n"
+      "maximal cliques with --solver mce).  --graph may repeat, and\n"
+      "--manifest adds one spec per line from a file; with more than one\n"
+      "instance the driver runs them all and streams one JSON object per\n"
+      "instance (batch mode, for corpus-wide sweeps).\n"
       "\n"
       "graph sources:\n"
       "  <file>               DIMACS .clq/.col or whitespace edge list\n"
@@ -54,6 +79,8 @@ std::string usage() {
       "                       SCALE is tiny|small|medium (default small)\n"
       "\n"
       "options:\n"
+      "  --manifest FILE      file of graph specs, one per line ('#'\n"
+      "                       starts a comment, blank lines skipped)\n"
       "  --solver NAME        lazymc (default), domega | domega-bs,\n"
       "                       domega-ls, mcbrb, pmc, reference, mce\n"
       "  --threads N          worker threads (default: hardware)\n"
@@ -71,7 +98,16 @@ std::string usage() {
       "  --pre-density        route the MC-vs-VC solver choice on the\n"
       "                       filter-3 edge estimate instead of the\n"
       "                       extracted subgraph's exact density\n"
+      "  --split MODE         decompose oversized B&B subproblems into\n"
+      "                       stealable tasks on the shared work queue:\n"
+      "                       auto (default; only when >1 thread) | on |\n"
+      "                       off\n"
+      "  --split-depth N      maximum split generations (default 2;\n"
+      "                       0 disables splitting)\n"
+      "  --split-min-cands N  minimum candidate-set size for a frame to\n"
+      "                       be carved into a task (default 128)\n"
       "  --json               emit the result as JSON on stdout\n"
+      "                       (implied by batch mode)\n"
       "  --help, -h           print this message\n";
 }
 
@@ -101,7 +137,9 @@ Options parse_options(int argc, char** argv, bool& wants_help) {
       wants_help = true;
       return options;
     } else if (arg == "--graph") {
-      options.graph_spec = value(i, arg);
+      options.graph_specs.push_back(value(i, arg));
+    } else if (arg == "--manifest") {
+      options.manifest_path = value(i, arg);
     } else if (arg == "--solver") {
       options.solver = parse_solver(value(i, arg));
     } else if (arg == "--order") {
@@ -109,24 +147,17 @@ Options parse_options(int argc, char** argv, bool& wants_help) {
     } else if (arg == "--rep") {
       options.rep = parse_rep(value(i, arg));
     } else if (arg == "--bitset-budget-mb") {
-      const std::string v = value(i, arg);
-      char* end = nullptr;
-      long n = std::strtol(v.c_str(), &end, 10);
-      if (end == v.c_str() || *end != '\0' || n < 0) {
-        fail("--bitset-budget-mb expects a non-negative integer, got '" + v +
-             "'");
-      }
-      options.bitset_budget_mb = static_cast<std::size_t>(n);
+      options.bitset_budget_mb = parse_size(arg, value(i, arg));
     } else if (arg == "--pre-density") {
       options.pre_extraction_density = true;
+    } else if (arg == "--split") {
+      options.split = parse_split(value(i, arg));
+    } else if (arg == "--split-depth") {
+      options.split_depth = parse_size(arg, value(i, arg));
+    } else if (arg == "--split-min-cands") {
+      options.split_min_cands = parse_size(arg, value(i, arg));
     } else if (arg == "--threads") {
-      const std::string v = value(i, arg);
-      char* end = nullptr;
-      long n = std::strtol(v.c_str(), &end, 10);
-      if (end == v.c_str() || *end != '\0' || n < 0) {
-        fail("--threads expects a non-negative integer, got '" + v + "'");
-      }
-      options.threads = static_cast<std::size_t>(n);
+      options.threads = parse_size(arg, value(i, arg));
     } else if (arg == "--time-limit") {
       const std::string v = value(i, arg);
       char* end = nullptr;
@@ -142,7 +173,9 @@ Options parse_options(int argc, char** argv, bool& wants_help) {
       fail("unknown argument '" + arg + "'");
     }
   }
-  if (options.graph_spec.empty()) fail("--graph is required");
+  if (options.graph_specs.empty() && options.manifest_path.empty()) {
+    fail("--graph or --manifest is required");
+  }
   return options;
 }
 

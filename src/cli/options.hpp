@@ -1,10 +1,16 @@
 // Command-line options for the `lazymc` driver binary.
 //
 // Usage:
-//   lazymc --graph <file|gen:name[:scale]> [--solver NAME] [--threads N]
-//          [--time-limit SECONDS] [--order coreness|peeling]
-//          [--rep auto|hash|sorted|bitset] [--bitset-budget-mb N]
-//          [--pre-density] [--json]
+//   lazymc --graph <file|gen:name[:scale]> [--graph ...] [--manifest FILE]
+//          [--solver NAME] [--threads N] [--time-limit SECONDS]
+//          [--order coreness|peeling] [--rep auto|hash|sorted|bitset]
+//          [--bitset-budget-mb N] [--pre-density]
+//          [--split auto|on|off] [--split-depth N] [--split-min-cands N]
+//          [--json]
+//
+// `--graph` may repeat and `--manifest` names a file with one graph spec
+// per line; with more than one instance the driver runs them all in
+// sequence and streams one JSON object per instance (batch mode).
 //
 // Solvers: lazymc (default), domega (alias domega-bs), domega-ls, mcbrb,
 // pmc, reference, mce.
@@ -12,6 +18,7 @@
 
 #include <limits>
 #include <string>
+#include <vector>
 
 namespace lazymc::cli {
 
@@ -31,13 +38,23 @@ enum class Order { kCorenessDegree, kPeeling };
 /// lazymc::NeighborhoodRep.
 enum class Rep { kAuto, kHash, kSorted, kBitset };
 
+/// Subproblem-splitting mode (lazymc solver only); mirrors mc::SplitMode.
+enum class Split { kAuto, kOn, kOff };
+
 struct Options {
-  std::string graph_spec;  // file path or "gen:name[:scale]"
+  /// One entry per --graph flag (file path or "gen:name[:scale]").
+  std::vector<std::string> graph_specs;
+  /// File with one graph spec per line ('#' comments, blanks skipped);
+  /// resolved by the driver and appended after graph_specs.
+  std::string manifest_path;
   Solver solver = Solver::kLazyMc;
   Order order = Order::kCorenessDegree;
   Rep rep = Rep::kAuto;
   std::size_t bitset_budget_mb = 64;  // 0 disables bitset rows
   bool pre_extraction_density = false;
+  Split split = Split::kAuto;
+  std::size_t split_depth = 2;       // 0 disables splitting
+  std::size_t split_min_cands = 128;
   std::size_t threads = 0;  // 0 = hardware default
   double time_limit_seconds = std::numeric_limits<double>::infinity();
   bool json = false;

@@ -48,6 +48,9 @@ void render_text(const RunReport& r, std::ostream& out) {
       << " pass3=" << s.pass_filter3 << " solved-mc=" << s.solved_mc
       << " solved-vc=" << s.solved_vc << " vc-fallbacks=" << s.vc_fallbacks
       << " retired-chunks=" << s.retired_chunks << "\n";
+  out << "split:    tasks=" << s.split_tasks
+      << " retired-subtasks=" << s.retired_subtasks
+      << " max-depth=" << s.max_split_depth << "\n";
   out << "          mc-nodes=" << s.mc_nodes << " vc-nodes=" << s.vc_nodes
       << " filter=" << s.filter_seconds << "s mc=" << s.mc_seconds
       << "s vc=" << s.vc_seconds << "s\n";
@@ -102,6 +105,9 @@ void render_json(const RunReport& r, std::ostream& out) {
     w.field("solved_vc", s.solved_vc);
     w.field("vc_fallbacks", s.vc_fallbacks);
     w.field("retired_chunks", s.retired_chunks);
+    w.field("split_tasks", s.split_tasks);
+    w.field("retired_subtasks", s.retired_subtasks);
+    w.field("max_split_depth", s.max_split_depth);
     w.field("filter_seconds", s.filter_seconds);
     w.field("mc_seconds", s.mc_seconds);
     w.field("vc_seconds", s.vc_seconds);

@@ -86,6 +86,31 @@ void LazyGraph::build_sorted(VertexId v) {
   flags_[v].fetch_or(kSortedBuilt, std::memory_order_release);
 }
 
+std::uint64_t* LazyGraph::carve_row() {
+  SpinLockGuard guard(arena_lock_);
+  if (slab_words_left_ < row_words_) {
+    // The caller already reserved this row from the budget, so `remaining`
+    // counts the *other* rows that can still be admitted; sizing the slab
+    // to them (plus this row) keeps total arena allocation within the
+    // budget instead of overshooting by up to a slab.
+    const std::int64_t remaining =
+        bitset_budget_words_.load(std::memory_order_relaxed);
+    std::size_t words = row_words_;
+    if (remaining > 0) {
+      words += std::min(slab_words_ - row_words_,
+                        static_cast<std::size_t>(remaining) / row_words_ *
+                            row_words_);
+    }
+    row_slabs_.push_back(std::make_unique<std::uint64_t[]>(words));
+    slab_cursor_ = row_slabs_.back().get();
+    slab_words_left_ = words;
+  }
+  std::uint64_t* row = slab_cursor_;
+  slab_cursor_ += row_words_;
+  slab_words_left_ -= row_words_;
+  return row;
+}
+
 void LazyGraph::build_bitset(VertexId v) {
   SpinLockGuard guard(locks_[v]);
   if (flags_[v].load(std::memory_order_relaxed) & kBitsetBuilt) return;
@@ -99,8 +124,8 @@ void LazyGraph::build_bitset(VertexId v) {
     return;
   }
   std::vector<VertexId> nbrs = filtered_neighbors(v);
-  std::vector<std::uint64_t>& row = row_bits_[v - zone_begin_];
-  row.assign(row_words_, 0);
+  std::uint64_t* row = carve_row();
+  std::fill(row, row + row_words_, 0);
   std::uint32_t count = 0;
   for (VertexId u : nbrs) {
     if (u < zone_begin_) continue;
@@ -108,9 +133,12 @@ void LazyGraph::build_bitset(VertexId v) {
     row[off >> 6] |= 1ULL << (off & 63);
     ++count;
   }
+  row_ptr_[v - zone_begin_] = row;
   row_count_[v - zone_begin_] = count;
   stat_bitset_built_.fetch_add(1, std::memory_order_relaxed);
   stat_bitset_words_.fetch_add(row_words_, std::memory_order_relaxed);
+  // The release publishes the row pointer and its contents to readers
+  // that load the flag with acquire (row_view).
   flags_[v].fetch_or(kBitsetBuilt, std::memory_order_release);
 }
 
@@ -127,21 +155,32 @@ void LazyGraph::enable_bitset_rows(std::size_t budget_bytes) {
       coreness_new_.begin());
   if (zb >= n_) return;  // empty zone: nothing left to search anyway
   const VertexId zone_bits = n_ - zb;
-  // The per-vertex bookkeeping (row vector headers + popcount array) is
-  // O(zone) and allocated up front, so it counts against the budget too —
+  // The per-vertex bookkeeping (row pointer + popcount array) is O(zone)
+  // and allocated up front, so it counts against the budget too —
   // otherwise a huge zone could dwarf the cap before any row is built.
   const std::size_t overhead =
       static_cast<std::size_t>(zone_bits) *
-      (sizeof(std::vector<std::uint64_t>) + sizeof(std::uint32_t));
+      (sizeof(std::uint64_t*) + sizeof(std::uint32_t));
   if (budget_bytes <= overhead) return;  // zone too large for this budget
   zone_begin_ = zb;
   zone_bits_ = zone_bits;
   row_words_ = (static_cast<std::size_t>(zone_bits_) + 63) / 64;
-  row_bits_.resize(zone_bits_);
+  row_ptr_.assign(zone_bits_, nullptr);
   row_count_.assign(zone_bits_, 0);
-  bitset_budget_words_.store(
-      static_cast<std::int64_t>((budget_bytes - overhead) / 8),
-      std::memory_order_relaxed);
+  const std::size_t budget_words = (budget_bytes - overhead) / 8;
+  // Arena slabs target ~1 MiB, rounded to whole rows, never exceeding
+  // what the zone or the budget can use — the allocator is touched once
+  // per slab instead of once per row.
+  std::size_t rows_per_slab =
+      std::max<std::size_t>(1, (std::size_t{1} << 17) / row_words_);
+  rows_per_slab = std::min<std::size_t>(rows_per_slab, zone_bits_);
+  rows_per_slab = std::min<std::size_t>(
+      rows_per_slab, std::max<std::size_t>(1, budget_words / row_words_));
+  slab_words_ = rows_per_slab * row_words_;
+  slab_cursor_ = nullptr;
+  slab_words_left_ = 0;
+  bitset_budget_words_.store(static_cast<std::int64_t>(budget_words),
+                             std::memory_order_relaxed);
   bitset_exhausted_.store(false, std::memory_order_relaxed);
   bitset_enabled_ = true;
 }

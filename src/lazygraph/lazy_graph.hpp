@@ -211,9 +211,14 @@ class LazyGraph {
 
   BitsetRow row_view(VertexId v) const {
     const VertexId i = v - zone_begin_;
-    return BitsetRow{row_bits_[i].data(), zone_begin_, zone_bits_,
-                     row_count_[i]};
+    return BitsetRow{row_ptr_[i], zone_begin_, zone_bits_, row_count_[i]};
   }
+
+  /// Reserves one row's words from the shared arena (pointer bump under a
+  /// spinlock; a new slab is allocated when the current one is spent).
+  /// Caller zero-fills outside the lock.  Only called after the global
+  /// word budget admitted the row.
+  std::uint64_t* carve_row();
 
   const Graph* base_;
   const kcore::VertexOrder* order_;
@@ -235,7 +240,17 @@ class LazyGraph {
   std::size_t row_words_ = 0;
   std::atomic<std::int64_t> bitset_budget_words_{0};
   std::atomic<bool> bitset_exhausted_{false};
-  std::vector<std::vector<std::uint64_t>> row_bits_;
+  // Row storage: one shared arena of slab allocations carved per row,
+  // instead of one heap vector per row — a built row costs 8 bytes of
+  // bookkeeping (its pointer) plus its share of a slab, and concurrent
+  // row builds touch the allocator ~once per slab rather than per row.
+  // Rows live as long as the graph; nothing is freed individually.
+  std::vector<std::unique_ptr<std::uint64_t[]>> row_slabs_;
+  std::uint64_t* slab_cursor_ = nullptr;
+  std::size_t slab_words_left_ = 0;
+  std::size_t slab_words_ = 0;  // slab size, a multiple of row_words_
+  SpinLock arena_lock_;
+  std::vector<std::uint64_t*> row_ptr_;  // null until the row is built
   std::vector<std::uint32_t> row_count_;
 
   // stats counters (relaxed)

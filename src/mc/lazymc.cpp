@@ -79,6 +79,9 @@ LazyMCResult lazy_mc(const Graph& g, const LazyMCConfig& config) {
     n.color_prune = config.color_prune;
     n.vc_node_budget_per_vertex = config.vc_node_budget_per_vertex;
     n.pre_extraction_density = config.pre_extraction_density;
+    n.split_mode = config.split_mode;
+    n.split_min_cands = config.split_min_cands;
+    n.split_depth = config.split_depth;
     n.intersect = policy;
     n.control = &control;
     systematic_search(lazy, incumbent, n, stats);
@@ -98,6 +101,9 @@ LazyMCResult lazy_mc(const Graph& g, const LazyMCConfig& config) {
   result.search.solved_vc = stats.solved_vc.load();
   result.search.vc_fallbacks = stats.vc_fallbacks.load();
   result.search.retired_chunks = stats.retired_chunks.load();
+  result.search.split_tasks = stats.split_tasks.load();
+  result.search.retired_subtasks = stats.retired_subtasks.load();
+  result.search.max_split_depth = stats.max_split_depth.load();
   result.search.kernel_merge = stats.kernels.merge.load();
   result.search.kernel_gallop = stats.kernels.gallop.load();
   result.search.kernel_hash = stats.kernels.hash.load();

@@ -70,6 +70,12 @@ struct LazyMCConfig {
   /// Route the MC-vs-VC choice on filter 3's pre-extraction edge estimate
   /// instead of the extracted subgraph's exact density (paper ordering).
   bool pre_extraction_density = false;
+  /// Subproblem decomposition of oversized B&B roots onto the shared work
+  /// queue; see NeighborSearchOptions::{split_mode,split_min_cands,
+  /// split_depth}.
+  SplitMode split_mode = SplitMode::kAuto;
+  VertexId split_min_cands = 128;
+  unsigned split_depth = 2;
   /// Wall-clock limit in seconds (Table II uses 1800 in the paper).
   double time_limit_seconds = std::numeric_limits<double>::infinity();
 };
@@ -98,6 +104,10 @@ struct SearchStatsSnapshot {
   std::uint64_t solved_vc = 0;
   std::uint64_t vc_fallbacks = 0;
   std::uint64_t retired_chunks = 0;
+  // Subproblem decomposition (two-level drain).
+  std::uint64_t split_tasks = 0;
+  std::uint64_t retired_subtasks = 0;
+  std::uint64_t max_split_depth = 0;
   // Adaptive-dispatch kernel counts (KernelCounters snapshot).
   std::uint64_t kernel_merge = 0;
   std::uint64_t kernel_gallop = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <utility>
+#include <variant>
 
 #include "graph/subgraph.hpp"
 #include "support/parallel.hpp"
@@ -13,6 +14,14 @@ namespace {
 
 std::uint64_t to_ns(double seconds) {
   return static_cast<std::uint64_t>(seconds * 1e9);
+}
+
+void atomic_max(std::atomic<std::uint64_t>& target, std::uint64_t value) {
+  std::uint64_t cur = target.load(std::memory_order_relaxed);
+  while (cur < value &&
+         !target.compare_exchange_weak(cur, value,
+                                       std::memory_order_relaxed)) {
+  }
 }
 
 /// Extracts the dense subgraph induced by `members` (relabelled ids,
@@ -84,11 +93,104 @@ struct LevelChunk {
   VertexId coreness = 0;
 };
 
+/// BBSplitHook that carves accepted frames into SubproblemTasks for a
+/// SubproblemSink.  Probe-root mode materializes the SharedSubproblem
+/// (one subgraph copy + publish maps) lazily on the first accepted offer;
+/// task mode re-splits against the already-shared subproblem.  Not
+/// thread-safe — one instance per solve, on the solving thread's stack.
+class SplitHook final : public BBSplitHook {
+ public:
+  /// Probe-root mode: `sub` is the pooled extraction for relabelled
+  /// vertex `head` (must outlive the solve).
+  SplitHook(SubproblemSink* sink, const NeighborSearchOptions& options,
+            SearchStats& stats, const LazyGraph& h, VertexId head,
+            const DenseSubgraph& sub)
+      : sink_(sink), options_(options), stats_(stats), h_(&h), head_(head),
+        sub_(&sub) {}
+
+  /// Task mode: re-splitting a claimed task of generation `parent_depth`.
+  SplitHook(SubproblemSink* sink, const NeighborSearchOptions& options,
+            SearchStats& stats,
+            std::shared_ptr<const SharedSubproblem> shared,
+            std::uint32_t parent_depth)
+      : sink_(sink), options_(options), stats_(stats),
+        shared_(std::move(shared)), parent_depth_(parent_depth) {}
+
+  bool offer(std::span<const VertexId> prefix,
+             const DynamicBitset& candidates, VertexId potential) override {
+    // Sticky acceptance: branches arrive biggest-first (reverse color
+    // order), so the first branch decides whether this root is worth
+    // decomposing.  Once it is, *every* remaining branch becomes a task —
+    // solving the small tail inline here would run it against the weak
+    // pre-split bound, whereas as queued tasks the big frames complete
+    // first and the claim-time incumbent check retires the tail for the
+    // cost of one comparison.  The cap is a runaway guard only.
+    if (!sticky_ && candidates.count() < options_.split_min_cands) {
+      return false;
+    }
+    if (accepts_left_ == 0) return false;
+    if (!shared_) materialize();
+    sticky_ = true;
+    --accepts_left_;
+    SubproblemTask task;
+    task.shared = shared_;
+    task.prefix.assign(prefix.begin(), prefix.end());
+    task.candidates = candidates;
+    task.upper_bound = potential + 1;  // + the head vertex
+    task.depth = parent_depth_ + 1;
+    stats_.split_tasks.fetch_add(1, std::memory_order_relaxed);
+    atomic_max(stats_.max_split_depth, task.depth);
+    buffer_.push_back(std::move(task));
+    return true;
+  }
+
+  /// Hands the buffered tasks to the sink, smallest frame first — the
+  /// sink front-pushes, so the shard ends up claiming biggest-first,
+  /// preserving the solver's reverse-color-order pruning discipline.
+  /// Call once the solve that produced the frames has returned.
+  void flush() {
+    for (std::size_t i = buffer_.size(); i-- > 0;) {
+      sink_->submit(std::move(buffer_[i]));
+    }
+    buffer_.clear();
+  }
+
+ private:
+  void materialize() {
+    const std::size_t n = sub_->size();
+    const auto& new_to_orig = h_->order().new_to_orig;
+    auto sp = std::make_shared<SharedSubproblem>();
+    sp->graph.vertices = sub_->vertices;
+    // The pooled extraction may hold stale rows past n; copy only [0, n).
+    sp->graph.adj.assign(sub_->adj.begin(),
+                         sub_->adj.begin() + static_cast<std::ptrdiff_t>(n));
+    sp->graph.num_edges = sub_->num_edges;
+    sp->orig_of_local.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      sp->orig_of_local[i] = new_to_orig[sub_->vertices[i]];
+    }
+    sp->head_orig = new_to_orig[head_];
+    shared_ = std::move(sp);
+  }
+
+  SubproblemSink* sink_;
+  const NeighborSearchOptions& options_;
+  SearchStats& stats_;
+  const LazyGraph* h_ = nullptr;
+  VertexId head_ = 0;
+  const DenseSubgraph* sub_ = nullptr;
+  std::shared_ptr<const SharedSubproblem> shared_;
+  std::uint32_t parent_depth_ = 0;
+  bool sticky_ = false;
+  std::size_t accepts_left_ = 4096;
+  std::vector<SubproblemTask> buffer_;
+};
+
 }  // namespace
 
 void neighbor_search(LazyGraph& h, VertexId v, Incumbent& incumbent,
                      const NeighborSearchOptions& options, SearchStats& stats,
-                     SearchScratch& scratch) {
+                     SearchScratch& scratch, SubproblemSink* sink) {
   WallTimer timer;
   stats.evaluated.fetch_add(1, std::memory_order_relaxed);
 
@@ -222,9 +324,9 @@ void neighbor_search(LazyGraph& h, VertexId v, Incumbent& incumbent,
         options.vc_node_budget_per_vertex == 0
             ? 0
             : options.vc_node_budget_per_vertex * (sub.size() + 1);
-    vc::McViaVcResult r = vc::max_clique_via_vc(sub, sub_bound,
-                                                options.control, budget,
-                                                &scratch.vc);
+    vc::McViaVcResult r = vc::max_clique_via_vc(
+        sub, sub_bound, options.control, budget, &scratch.vc,
+        &incumbent.size_atomic(), /*live_bound_offset=*/1);
     stats.vc_ns.fetch_add(to_ns(timer.lap()), std::memory_order_relaxed);
     stats.vc_nodes.fetch_add(r.nodes, std::memory_order_relaxed);
     if (r.budget_exhausted) {
@@ -240,13 +342,98 @@ void neighbor_search(LazyGraph& h, VertexId v, Incumbent& incumbent,
     BBOptions bb;
     bb.lower_bound = sub_bound;
     bb.control = options.control;
+    // Concurrently discovered cliques tighten this solve too; the head
+    // vertex contributes 1, so the local bound is the incumbent minus 1.
+    bb.live_bound = &incumbent.size_atomic();
+    bb.live_bound_offset = 1;
+    SplitHook hook(sink, options, stats, h, v, sub);
+    if (sink != nullptr && options.split_mode != SplitMode::kOff &&
+        options.split_depth > 0 &&
+        sub.size() >= options.split_min_cands) {
+      bb.split = &hook;
+    }
     BBResult r = solve_mc_dense(sub, bb, scratch.mc);
+    hook.flush();
     stats.mc_ns.fetch_add(to_ns(timer.lap()), std::memory_order_relaxed);
     stats.mc_nodes.fetch_add(r.nodes, std::memory_order_relaxed);
     stats.solved_mc.fetch_add(1, std::memory_order_relaxed);
     if (!r.clique.empty()) publish(v, r.clique, sub.vertices);
   }
 }
+
+bool run_subproblem_task(const SubproblemTask& task, Incumbent& incumbent,
+                         const NeighborSearchOptions& options,
+                         SearchStats& stats, SearchScratch& scratch,
+                         SubproblemSink* sink) {
+  // Claim-time incumbent re-check: the coloring bound recorded at split
+  // time caps anything this frame can produce, so a bound raised anywhere
+  // since then retires the task without coloring a single node.
+  if (task.upper_bound <= incumbent.size()) {
+    stats.retired_subtasks.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  WallTimer timer;
+  const VertexId inc = incumbent.size();
+  BBOptions bb;
+  bb.lower_bound = inc > 0 ? inc - 1 : 0;
+  bb.live_bound = &incumbent.size_atomic();
+  bb.live_bound_offset = 1;
+  bb.control = options.control;
+  SplitHook hook(sink, options, stats, task.shared, task.depth);
+  if (sink != nullptr && options.split_mode != SplitMode::kOff &&
+      task.depth < options.split_depth) {
+    bb.split = &hook;
+  }
+  BBResult r = solve_mc_dense_rooted(task.shared->graph, task.prefix,
+                                     task.candidates, bb, scratch.mc);
+  hook.flush();
+  stats.mc_ns.fetch_add(to_ns(timer.elapsed()), std::memory_order_relaxed);
+  stats.mc_nodes.fetch_add(r.nodes, std::memory_order_relaxed);
+  if (!r.clique.empty()) {
+    std::vector<VertexId>& orig = scratch.clique;
+    orig.clear();
+    orig.push_back(task.shared->head_orig);
+    for (VertexId u : r.clique) {
+      orig.push_back(task.shared->orig_of_local[u]);
+    }
+    incumbent.offer(orig);
+  }
+  return true;
+}
+
+namespace {
+
+/// A unit of the unified drain: either a probe chunk or a stealable B&B
+/// frame, coexisting in the one sharded queue.
+using WorkItem = std::variant<LevelChunk, SubproblemTask>;
+
+/// Routes carved tasks onto the executing participant's shard of the
+/// shared queue, counting them into the TaskGroup *before* they become
+/// visible (see TaskGroup's contract).
+class QueueSink final : public SubproblemSink {
+ public:
+  void init(WorkQueue<WorkItem>* queue, TaskGroup* group,
+            std::size_t shard) {
+    queue_ = queue;
+    group_ = group;
+    shard_ = shard;
+  }
+  void submit(SubproblemTask task) override {
+    group_->add(1);
+    // Front of the shard: tasks are depth-first work — claiming them
+    // before older probe chunks reproduces the sequential search order
+    // (the giant subproblem's result prunes the breadth that follows),
+    // while thieves still steal the cheap chunks off the back.
+    queue_->push_front(shard_, WorkItem(std::move(task)));
+  }
+
+ private:
+  WorkQueue<WorkItem>* queue_ = nullptr;
+  TaskGroup* group_ = nullptr;
+  std::size_t shard_ = 0;
+};
+
+}  // namespace
 
 void systematic_search(LazyGraph& h, Incumbent& incumbent,
                        const NeighborSearchOptions& options,
@@ -310,10 +497,14 @@ void systematic_search(LazyGraph& h, Incumbent& incumbent,
   }
 
   // Deal round-robin so each shard holds a descending-priority run and
-  // the first pops everywhere are probes / high-coreness chunks.
-  WorkQueue<LevelChunk> queue(participants);
+  // the first pops everywhere are probes / high-coreness chunks.  Every
+  // initial chunk is counted into the task group before it is pushed;
+  // subproblem tasks spawned mid-drain join the same accounting.
+  WorkQueue<WorkItem> queue(participants);
+  TaskGroup group;
+  group.add(worklist.size());
   for (std::size_t p = 0; p < participants; ++p) {
-    std::vector<LevelChunk> batch;
+    std::vector<WorkItem> batch;
     batch.reserve(worklist.size() / participants + 1);
     for (std::size_t i = p; i < worklist.size(); i += participants) {
       batch.push_back(worklist[i]);
@@ -321,26 +512,45 @@ void systematic_search(LazyGraph& h, Incumbent& incumbent,
     queue.push_batch(p, batch.begin(), batch.end());
   }
 
+  // Subproblem splitting: kAuto only pays the task overhead when there is
+  // someone to steal (kOn forces the queue path even single-threaded, so
+  // determinism tests cover it).
+  const bool split_enabled =
+      options.split_depth > 0 &&
+      (options.split_mode == SplitMode::kOn ||
+       (options.split_mode == SplitMode::kAuto && participants > 1));
+  std::vector<QueueSink> sinks(participants);
+  for (std::size_t p = 0; p < participants; ++p) {
+    sinks[p].init(&queue, &group, p);
+  }
+
   // ---- drain: no barriers, incumbent re-checked at claim time ----------
+  // Probe chunks and subproblem tasks interleave in one loop; the drain
+  // ends when the TaskGroup says everything ever enqueued completed.
   std::vector<SearchScratch> scratch(participants);
-  thread_pool().parallel_invoke_all([&](std::size_t p) {
-    SearchScratch& mine = scratch[p];
-    LevelChunk c;
-    while (queue.pop(p, c)) {
-      if (options.control && options.control->cancelled()) break;
-      const VertexId bound = incumbent.size();
-      if (c.coreness < bound) {
-        stats.retired_chunks.fetch_add(1, std::memory_order_relaxed);
-        continue;
-      }
-      for (VertexId v = c.begin; v < c.end; ++v) {
-        if (options.control && options.control->cancelled()) break;
-        if (h.coreness(v) >= incumbent.size()) {
-          neighbor_search(h, v, incumbent, options, stats, mine);
+  drain_queue(
+      thread_pool(), queue, group,
+      [&](std::size_t p, WorkItem& item) {
+        SearchScratch& mine = scratch[p];
+        SubproblemSink* sink = split_enabled ? &sinks[p] : nullptr;
+        if (LevelChunk* c = std::get_if<LevelChunk>(&item)) {
+          const VertexId bound = incumbent.size();
+          if (c->coreness < bound) {
+            stats.retired_chunks.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+          for (VertexId v = c->begin; v < c->end; ++v) {
+            if (options.control && options.control->cancelled()) break;
+            if (h.coreness(v) >= incumbent.size()) {
+              neighbor_search(h, v, incumbent, options, stats, mine, sink);
+            }
+          }
+        } else {
+          run_subproblem_task(std::get<SubproblemTask>(item), incumbent,
+                              options, stats, mine, sink);
         }
-      }
-    }
-  });
+      },
+      [&] { return options.control && options.control->cancelled(); });
 }
 
 }  // namespace lazymc::mc

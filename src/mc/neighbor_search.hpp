@@ -25,10 +25,27 @@
 // chunks without touching their vertices (stats.retired_chunks).  Every
 // participant owns a SearchScratch arena, making steady-state probes
 // allocation-free.
+//
+// Two-level drain (subproblem splitting): on zero-gap instances the tail
+// of the search degenerates to a few enormous surviving neighborhoods,
+// each previously solved by a single thread inside the recursive B&B
+// while the rest of the pool idled.  When a surviving subproblem's root
+// frame is large enough (options.split_min_cands, mode split_mode), its
+// root branches are carved into SubproblemTasks — each owning a copied
+// candidate bitset plus a shared handle on the extracted DenseSubgraph —
+// and pushed onto the *same* WorkQueue that feeds probe chunks, so any
+// participant can steal them.  Claimed tasks re-check the incumbent
+// against their coloring upper bound first and are retired wholesale when
+// stale (stats.retired_subtasks); live tasks resume the B&B from their
+// explicit frame on the *executing* thread's scratch arena and may split
+// again up to options.split_depth generations.  A TaskGroup tracks
+// completion, since tasks appearing mid-drain make queue emptiness
+// meaningless as a termination signal.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "lazygraph/lazy_graph.hpp"
@@ -57,6 +74,12 @@ struct SearchStats {
   // Worklist chunks retired unvisited because the incumbent had grown
   // past their coreness by claim time (incumbent broadcast at work).
   std::atomic<std::uint64_t> retired_chunks{0};
+  // Subproblem decomposition: B&B root frames carved onto the work queue,
+  // tasks retired at claim time because the incumbent outgrew their
+  // coloring bound, and the deepest split generation reached.
+  std::atomic<std::uint64_t> split_tasks{0};
+  std::atomic<std::uint64_t> retired_subtasks{0};
+  std::atomic<std::uint64_t> max_split_depth{0};
   // Where the adaptive dispatcher ran each intersection (wired into every
   // IntersectPolicy used by the solve; see mc/intersect_policy.hpp).
   KernelCounters kernels;
@@ -94,6 +117,53 @@ struct SearchScratch {
   vc::VcScratch vc;               // complement pool for the k-VC route
 };
 
+/// When the task engine may decompose a surviving B&B root onto the
+/// shared work queue.
+enum class SplitMode {
+  /// Split when the pool has more than one participant and the frame
+  /// clears split_min_cands (default).
+  kAuto,
+  /// Split whenever the frame clears split_min_cands, even single-threaded
+  /// (tasks still flow through the queue — used by determinism tests).
+  kOn,
+  /// Never split; every subproblem solves inside its probe's recursion.
+  kOff,
+};
+
+/// The immutable part of a decomposed subproblem, shared by every task
+/// carved from it (and from their re-splits): the extracted dense
+/// subgraph plus everything needed to publish an improving clique without
+/// touching the spawning thread again.
+struct SharedSubproblem {
+  DenseSubgraph graph;                  // owned copy (scratch.sub is pooled)
+  std::vector<VertexId> orig_of_local;  // local id -> original vertex id
+  VertexId head_orig = 0;  // the probe vertex; member of every clique here
+};
+
+/// One stealable branch-and-bound frame: a prefix R already committed and
+/// the candidate set P to expand under it.  Owns its bitset (copied at
+/// split time) so execution is independent of the spawning thread's
+/// arena; the subgraph is shared.
+struct SubproblemTask {
+  std::shared_ptr<const SharedSubproblem> shared;
+  std::vector<VertexId> prefix;  // local ids, branch vertex last
+  DynamicBitset candidates;      // P for this frame
+  /// Coloring upper bound on |{head} ∪ R ∪ clique(P)| — the task cannot
+  /// improve an incumbent at or above this; checked again at claim time.
+  VertexId upper_bound = 0;
+  /// Split generation (1 = carved from a probe's root, 2 = from a task).
+  std::uint32_t depth = 1;
+};
+
+/// Where carved tasks go.  The systematic-search runtime wires one sink
+/// per participant onto its shard of the shared WorkQueue; tests may
+/// collect tasks instead.
+class SubproblemSink {
+ public:
+  virtual ~SubproblemSink() = default;
+  virtual void submit(SubproblemTask task) = 0;
+};
+
 struct NeighborSearchOptions {
   /// Density above which subproblems go to k-VC.  The paper quotes 10%
   /// for its headline results but observes vertex cover being selected
@@ -126,16 +196,28 @@ struct NeighborSearchOptions {
   /// and keeps the phi scale meaningful; this option exists to reproduce
   /// the paper's ordering (estimate first, extraction after).
   bool pre_extraction_density = false;
+  /// Subproblem decomposition onto the shared work queue (see the header
+  /// comment).  kOff keeps every B&B on its probing thread.
+  SplitMode split_mode = SplitMode::kAuto;
+  /// Minimum candidate-set size for a root branch to be worth a queue
+  /// round-trip (frame copy + possible steal).  Frames below it recurse
+  /// in the pooled solver as before.
+  VertexId split_min_cands = 128;
+  /// Maximum split generations: 1 = only probe roots split, 2 = tasks may
+  /// split once more, ... 0 disables splitting entirely.
+  unsigned split_depth = 2;
   IntersectPolicy intersect;
   const SolveControl* control = nullptr;
 };
 
 /// Algorithm 8: searches the right-neighborhood of relabelled vertex v and
 /// offers any improving clique (original ids) to the incumbent.  All
-/// intermediate state lives in `scratch` (one per thread).
+/// intermediate state lives in `scratch` (one per thread).  When `sink`
+/// is non-null and options allow, oversized B&B roots are decomposed into
+/// SubproblemTasks submitted there instead of being solved inline.
 void neighbor_search(LazyGraph& h, VertexId v, Incumbent& incumbent,
                      const NeighborSearchOptions& options, SearchStats& stats,
-                     SearchScratch& scratch);
+                     SearchScratch& scratch, SubproblemSink* sink = nullptr);
 
 /// Convenience overload with a throwaway scratch (tests, one-off probes).
 inline void neighbor_search(LazyGraph& h, VertexId v, Incumbent& incumbent,
@@ -144,6 +226,17 @@ inline void neighbor_search(LazyGraph& h, VertexId v, Incumbent& incumbent,
   SearchScratch scratch;
   neighbor_search(h, v, incumbent, options, stats, scratch);
 }
+
+/// Executes one claimed SubproblemTask on the executing thread's scratch:
+/// re-checks the incumbent against the task's coloring bound (a stale
+/// task is retired without being solved — returns false), then resumes
+/// the B&B from the explicit frame, publishing any improving clique.
+/// `sink` (optional) receives re-split child tasks while
+/// task.depth < options.split_depth.
+bool run_subproblem_task(const SubproblemTask& task, Incumbent& incumbent,
+                         const NeighborSearchOptions& options,
+                         SearchStats& stats, SearchScratch& scratch,
+                         SubproblemSink* sink = nullptr);
 
 /// Algorithm 7 over a zero-barrier sharded worklist: one probe vertex per
 /// degeneracy level (from |C*| upward) enqueued first, then all levels

@@ -16,6 +16,11 @@
 //  * `WorkQueue<T>` is a sharded multi-producer multi-consumer queue
 //    (per-shard locked rings, batch push, steal-half) for irregular work
 //    that does not fit a flat loop — e.g. the systematic-search worklist.
+//  * `TaskGroup` + `drain_queue` extend the WorkQueue drain to *nested*
+//    work: consumers may push new items while draining (e.g. a giant
+//    branch-and-bound subproblem splitting itself into stealable tasks),
+//    and the drain terminates only when every item ever added — not just
+//    the initial batch — has been completed.
 //
 // Nested-parallelism rule: a `parallel_for` / `parallel_invoke_all` issued
 // from inside a worker of the same pool runs the whole range inline on the
@@ -25,7 +30,9 @@
 // irregular work routed through WorkQueue instead of nested forks.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
@@ -311,6 +318,25 @@ class WorkQueue {
     size_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Prepends one item to `shard` (highest priority: the owner's next pop
+  /// claims it before anything older).  Used for depth-first work spawned
+  /// mid-drain — e.g. subproblem tasks, which should run before the
+  /// breadth of remaining probe chunks so their results prune it.  The
+  /// consumed-prefix slot before `head` is reused when available, so
+  /// steady-state front-pushes into an active shard do not shift the ring.
+  void push_front(std::size_t shard, T item) {
+    Shard& s = shard_at(shard);
+    {
+      SpinLockGuard guard(s.lock);
+      if (s.head > 0) {
+        s.items[--s.head] = std::move(item);
+      } else {
+        s.items.insert(s.items.begin(), std::move(item));
+      }
+    }
+    size_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// Appends a batch under one lock acquisition.
   template <typename It>
   void push_batch(std::size_t shard, It first, It last) {
@@ -408,5 +434,79 @@ class WorkQueue {
   std::unique_ptr<Shard[]> shards_;
   std::atomic<std::size_t> size_{0};
 };
+
+/// Completion tracking for nested task groups draining through a WorkQueue.
+///
+/// `pop` returning false only proves the queue is *currently* empty; when
+/// consumers may push new work while draining (subproblem splitting), that
+/// is not a termination signal — another consumer might be about to push.
+/// The group counts outstanding items instead: producers `add()` *before*
+/// pushing (so an item is never visible in the queue without being
+/// counted), consumers `complete()` after fully processing one (including
+/// pushing any children, which were add()ed first).  `done()` therefore
+/// means: every item ever added has been completed, and no live item can
+/// spawn more.
+class TaskGroup {
+ public:
+  void add(std::size_t n = 1) {
+    pending_.fetch_add(static_cast<std::ptrdiff_t>(n),
+                       std::memory_order_relaxed);
+  }
+  void complete() { pending_.fetch_sub(1, std::memory_order_release); }
+  bool done() const {
+    return pending_.load(std::memory_order_acquire) == 0;
+  }
+  std::size_t pending() const {
+    return static_cast<std::size_t>(
+        pending_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  std::atomic<std::ptrdiff_t> pending_{0};
+};
+
+/// Drains `queue` with every pool participant until `group.done()` — the
+/// two-level drain loop shared by probe chunks and subproblem tasks.
+///
+/// `process(participant, item)` may push new items (after group.add());
+/// the helper calls group.complete() for it.  `stop()` is polled each
+/// iteration by every participant; when it returns true all participants
+/// abandon the drain regardless of pending work (cooperative
+/// cancellation — pending counts are not repaired, the group is dead).
+/// Participants that find the queue momentarily empty back off
+/// exponentially (yield, then micro-sleeps) so waiters do not starve the
+/// workers still producing — important when the pool is oversubscribed.
+template <typename T, typename Process, typename Stop>
+void drain_queue(ThreadPool& pool, WorkQueue<T>& queue, TaskGroup& group,
+                 Process&& process, Stop&& stop) {
+  // An exception in `process` leaves the group permanently non-done; the
+  // abort flag gets the other participants out before the error
+  // propagates through the pool (first one wins, as with parallel_for).
+  std::atomic<bool> aborted{false};
+  pool.parallel_invoke_all([&](std::size_t p) {
+    T item;
+    unsigned idle_spins = 0;
+    while (!group.done()) {
+      if (aborted.load(std::memory_order_relaxed) || stop()) break;
+      if (queue.pop(p, item)) {
+        idle_spins = 0;
+        try {
+          process(p, item);
+        } catch (...) {
+          aborted.store(true, std::memory_order_relaxed);
+          group.complete();
+          throw;
+        }
+        group.complete();
+      } else if (++idle_spins < 64) {
+        std::this_thread::yield();
+      } else {
+        // Capped exponential backoff: 2us doubling to ~1ms.
+        const unsigned shift = std::min(idle_spins - 64, 9u);
+        std::this_thread::sleep_for(std::chrono::microseconds(2u << shift));
+      }
+    }
+  });
+}
 
 }  // namespace lazymc

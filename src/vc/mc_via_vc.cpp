@@ -7,7 +7,9 @@ namespace lazymc::vc {
 McViaVcResult max_clique_via_vc(const DenseSubgraph& s, VertexId lower_bound,
                                 const SolveControl* control,
                                 std::uint64_t node_budget,
-                                VcScratch* scratch) {
+                                VcScratch* scratch,
+                                const std::atomic<VertexId>* live_bound,
+                                VertexId live_bound_offset) {
   McViaVcResult out;
   const std::size_t n = s.size();
   if (n == 0 || n <= lower_bound) return out;
@@ -28,6 +30,16 @@ McViaVcResult max_clique_via_vc(const DenseSubgraph& s, VertexId lower_bound,
   bool found = false;
 
   while (lo <= hi) {
+    if (live_bound) {
+      // A concurrently grown incumbent makes probes at or below its size
+      // pointless; raising lo retires that part of the range outright.
+      VertexId live = live_bound->load(std::memory_order_relaxed);
+      live = live > live_bound_offset ? live - live_bound_offset : 0;
+      if (static_cast<std::size_t>(live) + 1 > lo) {
+        lo = static_cast<std::size_t>(live) + 1;
+        if (lo > hi) break;
+      }
+    }
     std::size_t c = lo + (hi - lo) / 2;
     if (node_budget != 0) {
       if (out.nodes >= node_budget) {

@@ -8,6 +8,7 @@
 // [lower_bound+1, |S|].
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -45,9 +46,21 @@ struct VcScratch {
 /// (0 = unlimited); when exceeded, the result reports budget_exhausted
 /// and the caller decides how to proceed.  `scratch` (optional) recycles
 /// the complement-extraction buffers across calls.
+///
+/// `live_bound` (optional) is a concurrently growing incumbent size,
+/// re-read before every feasibility probe after subtracting
+/// `live_bound_offset` (saturating): probes for clique sizes the live
+/// incumbent already covers are skipped, so a bound raised by another
+/// thread mid-solve retires the remaining binary-search range.  With a
+/// live bound the result is maximum *relative to the live bound* — a
+/// clique no larger than it may be elided, which is harmless for callers
+/// publishing into that same incumbent.
 McViaVcResult max_clique_via_vc(const DenseSubgraph& s, VertexId lower_bound,
                                 const SolveControl* control = nullptr,
                                 std::uint64_t node_budget = 0,
-                                VcScratch* scratch = nullptr);
+                                VcScratch* scratch = nullptr,
+                                const std::atomic<VertexId>* live_bound =
+                                    nullptr,
+                                VertexId live_bound_offset = 0);
 
 }  // namespace lazymc::vc

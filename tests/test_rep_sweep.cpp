@@ -155,7 +155,7 @@ TEST(LazyGraphBitset, BudgetExhaustionFallsBackGracefully) {
   // zone = 100 bits -> 2 words (16 bytes) per row.  Grant the bookkeeping
   // plus one word: no complete row fits, so the first build exhausts.
   const std::size_t bookkeeping =
-      100 * (sizeof(std::vector<std::uint64_t>) + sizeof(std::uint32_t));
+      100 * (sizeof(std::uint64_t*) + sizeof(std::uint32_t));
   lazy.enable_bitset_rows(bookkeeping + 8);
   ASSERT_TRUE(lazy.bitset_enabled());
   EXPECT_FALSE(lazy.bitset_row(0).valid());

@@ -1,0 +1,286 @@
+// Subproblem-splitting (task-based branch-and-bound) coverage:
+//  * suite-wide omega must be identical with splitting forced on, off and
+//    adaptive, at 1, 2 and 8 threads;
+//  * the task engine itself: neighbor_search carves oversized B&B roots
+//    into tasks through a SubproblemSink, claimed tasks re-check the
+//    incumbent and stale ones are retired without being solved;
+//  * the systematic search drains probe chunks and tasks through one
+//    queue and still reaches the exact omega.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "baselines/reference.hpp"
+#include "graph/generators.hpp"
+#include "graph/suite.hpp"
+#include "kcore/kcore.hpp"
+#include "kcore/order.hpp"
+#include "lazygraph/lazy_graph.hpp"
+#include "mc/incumbent.hpp"
+#include "mc/lazymc.hpp"
+#include "mc/neighbor_search.hpp"
+#include "support/parallel.hpp"
+
+namespace lazymc {
+namespace {
+
+/// Test sink: collects tasks instead of queueing them.
+class CollectingSink final : public mc::SubproblemSink {
+ public:
+  void submit(mc::SubproblemTask task) override {
+    tasks.push_back(std::move(task));
+  }
+  std::vector<mc::SubproblemTask> tasks;
+};
+
+/// Shared fixture pieces for driving neighbor_search directly on a
+/// complete graph: every probe survives the filters and the root B&B is
+/// maximally splittable.
+struct CompleteFixture {
+  Graph g;
+  kcore::CoreDecomposition core;
+  kcore::VertexOrder order;
+
+  explicit CompleteFixture(VertexId n) : g(gen::complete(n)) {
+    core = kcore::coreness(g);
+    order = kcore::order_by_coreness_degree(g, core.coreness);
+  }
+};
+
+mc::NeighborSearchOptions split_on_options(VertexId min_cands) {
+  mc::NeighborSearchOptions opt;
+  opt.split_mode = mc::SplitMode::kOn;
+  opt.split_min_cands = min_cands;
+  opt.density_threshold = 1.1;  // force the MC route (complete graphs)
+  return opt;
+}
+
+TEST(SubproblemSplit, NeighborSearchCarvesRootBranchesIntoTasks) {
+  CompleteFixture f(40);
+  Incumbent incumbent;
+  incumbent.offer(std::vector<VertexId>{0, 1});
+  LazyGraph lazy(f.g, f.order, f.core.coreness, &incumbent.size_atomic());
+
+  mc::SearchStats stats;
+  mc::SearchScratch scratch;
+  CollectingSink sink;
+  mc::neighbor_search(lazy, 0, incumbent, split_on_options(4), stats,
+                      scratch, &sink);
+
+  // K40's root has 39 branches; the first (biggest) clears min_cands, so
+  // sticky acceptance carves every unpruned branch.  The sink receives
+  // them smallest-first (the runtime front-pushes, claiming biggest
+  // first), so the last collected task carries the biggest frame.
+  ASSERT_GT(sink.tasks.size(), 5u);
+  ASSERT_LT(sink.tasks.size(), 39u);
+  EXPECT_EQ(stats.split_tasks.load(), sink.tasks.size());
+  EXPECT_EQ(stats.max_split_depth.load(), 1u);
+  for (const mc::SubproblemTask& t : sink.tasks) {
+    ASSERT_TRUE(t.shared);
+    EXPECT_EQ(t.shared.get(), sink.tasks.front().shared.get());
+    EXPECT_EQ(t.depth, 1u);
+    EXPECT_FALSE(t.prefix.empty());
+    // Bound accounting: head + prefix + coloring bound on P.
+    EXPECT_GT(t.upper_bound, incumbent.size());
+    EXPECT_LE(t.upper_bound, 40u);
+  }
+  EXPECT_GE(sink.tasks.back().candidates.count(), 4u);
+  EXPECT_EQ(sink.tasks.back().upper_bound, 40u);
+  // Every branch was offloaded, so the probe alone proves nothing.
+  EXPECT_LT(incumbent.size(), 40u);
+}
+
+TEST(SubproblemSplit, StaleTasksAreRetiredWithoutBeingSolved) {
+  CompleteFixture f(40);
+  Incumbent incumbent;
+  incumbent.offer(std::vector<VertexId>{0, 1});
+  LazyGraph lazy(f.g, f.order, f.core.coreness, &incumbent.size_atomic());
+
+  mc::SearchStats stats;
+  mc::SearchScratch scratch;
+  CollectingSink sink;
+  mc::NeighborSearchOptions opt = split_on_options(4);
+  mc::neighbor_search(lazy, 0, incumbent, opt, stats, scratch, &sink);
+  ASSERT_FALSE(sink.tasks.empty());
+
+  // The incumbent grows "mid-drain" (here: between split and claim) past
+  // every task's upper bound; claiming must retire them all unsolved.
+  std::vector<VertexId> whole(40);
+  for (VertexId v = 0; v < 40; ++v) whole[v] = v;
+  ASSERT_TRUE(incumbent.offer(whole));
+
+  const std::uint64_t nodes_before = stats.mc_nodes.load();
+  for (const mc::SubproblemTask& t : sink.tasks) {
+    EXPECT_FALSE(
+        mc::run_subproblem_task(t, incumbent, opt, stats, scratch));
+  }
+  EXPECT_EQ(stats.retired_subtasks.load(), sink.tasks.size());
+  EXPECT_EQ(stats.mc_nodes.load(), nodes_before)
+      << "a retired task expanded B&B nodes";
+}
+
+TEST(SubproblemSplit, TasksSolveAndTheirResultsRetireLaterTasks) {
+  CompleteFixture f(40);
+  Incumbent incumbent;
+  incumbent.offer(std::vector<VertexId>{0, 1});
+  LazyGraph lazy(f.g, f.order, f.core.coreness, &incumbent.size_atomic());
+
+  mc::SearchStats stats;
+  mc::SearchScratch scratch;
+  CollectingSink sink;
+  mc::NeighborSearchOptions opt = split_on_options(4);
+  opt.split_depth = 1;  // no re-splitting: tasks must solve or retire
+  mc::neighbor_search(lazy, 0, incumbent, opt, stats, scratch, &sink);
+  ASSERT_FALSE(sink.tasks.empty());
+
+  // Claim biggest-first (the runtime's order): the K39 frame proves
+  // omega, making every later task stale at its claim-time re-check.
+  std::size_t solved = 0, retired = 0;
+  for (std::size_t i = sink.tasks.size(); i-- > 0;) {
+    if (mc::run_subproblem_task(sink.tasks[i], incumbent, opt, stats,
+                                scratch)) {
+      ++solved;
+    } else {
+      ++retired;
+    }
+  }
+  EXPECT_EQ(incumbent.size(), 40u);
+  EXPECT_EQ(solved, 1u);
+  EXPECT_EQ(retired, sink.tasks.size() - 1);
+  EXPECT_EQ(stats.retired_subtasks.load(), retired);
+}
+
+TEST(SubproblemSplit, TasksCanResplitUpToDepthLimit) {
+  CompleteFixture f(60);
+  Incumbent incumbent;
+  incumbent.offer(std::vector<VertexId>{0, 1});
+  LazyGraph lazy(f.g, f.order, f.core.coreness, &incumbent.size_atomic());
+
+  mc::SearchStats stats;
+  mc::SearchScratch scratch;
+  CollectingSink sink;
+  mc::NeighborSearchOptions opt = split_on_options(4);
+  opt.split_depth = 3;
+  mc::neighbor_search(lazy, 0, incumbent, opt, stats, scratch, &sink);
+  ASSERT_FALSE(sink.tasks.empty());
+
+  // Execute the biggest generation-1 task (the last collected) with the
+  // sink still attached: its large child frames split again instead of
+  // recursing, sharing the same subgraph handle.
+  const std::size_t gen1 = sink.tasks.size() - 1;
+  {
+    mc::SubproblemTask biggest = std::move(sink.tasks.back());
+    sink.tasks.pop_back();
+    mc::run_subproblem_task(biggest, incumbent, opt, stats, scratch, &sink);
+  }
+  ASSERT_GT(sink.tasks.size(), gen1) << "no generation-2 tasks were carved";
+  const mc::SubproblemTask& child = sink.tasks[gen1];
+  EXPECT_EQ(child.depth, 2u);
+  EXPECT_EQ(child.shared.get(), sink.tasks[0].shared.get())
+      << "re-split must reuse the shared subgraph handle";
+  EXPECT_GE(child.prefix.size(), 2u);
+  EXPECT_EQ(stats.max_split_depth.load(), 2u);
+
+  // Drain LIFO, like the runtime's front-pushed shard: children run
+  // before older siblings, and grandchildren stay within the depth cap.
+  while (!sink.tasks.empty()) {
+    mc::SubproblemTask t = std::move(sink.tasks.back());
+    sink.tasks.pop_back();
+    mc::run_subproblem_task(t, incumbent, opt, stats, scratch, &sink);
+  }
+  EXPECT_EQ(incumbent.size(), 60u);
+  EXPECT_LE(stats.max_split_depth.load(), 3u);
+}
+
+TEST(SubproblemSplit, SystematicSearchDrainsTasksToExactOmega) {
+  // A dense zero-gap-style instance: noise plus a large planted clique
+  // whose neighborhood the probe must actually solve.  The two-level
+  // drain (probe chunks + tasks in one queue) must stay exact.
+  Graph g = gen::plant_clique(gen::gnp(160, 0.25, 97), 24, 98);
+  auto ref = baselines::max_clique_reference(g);
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                              std::size_t{4}}) {
+    set_num_threads(threads);
+    auto core = kcore::coreness(g);
+    auto order = kcore::order_by_coreness_degree(g, core.coreness);
+    Incumbent incumbent;
+    incumbent.offer(std::vector<VertexId>{0});
+    LazyGraph lazy(g, order, core.coreness, &incumbent.size_atomic());
+    mc::SearchStats stats;
+    mc::NeighborSearchOptions opt;
+    opt.split_mode = mc::SplitMode::kOn;
+    opt.split_min_cands = 8;
+    opt.density_threshold = 1.1;  // keep everything on the MC/split path
+    mc::systematic_search(lazy, incumbent, opt, stats);
+    EXPECT_EQ(incumbent.size(), ref.size()) << threads << " threads";
+    EXPECT_GT(stats.split_tasks.load(), 0u) << threads << " threads";
+  }
+  set_num_threads(0);
+}
+
+TEST(SubproblemSplit, OffModeNeverSplits) {
+  Graph g = gen::plant_clique(gen::gnp(120, 0.25, 99), 18, 100);
+  set_num_threads(4);
+  mc::LazyMCConfig cfg;
+  cfg.split_mode = mc::SplitMode::kOff;
+  cfg.density_threshold = 1.1;
+  auto r = mc::lazy_mc(g, cfg);
+  EXPECT_EQ(r.search.split_tasks, 0u);
+  EXPECT_EQ(r.search.retired_subtasks, 0u);
+  EXPECT_EQ(r.search.max_split_depth, 0u);
+  EXPECT_EQ(r.omega, baselines::max_clique_reference(g).size());
+  set_num_threads(0);
+}
+
+// ---- suite-wide determinism sweep -----------------------------------------
+
+class SplitSweepTest : public testing::TestWithParam<std::string> {
+ protected:
+  void TearDown() override { set_num_threads(0); }
+};
+
+TEST_P(SplitSweepTest, OmegaIdenticalWithSplittingOnOffAuto) {
+  auto inst = suite::make_instance(GetParam(), suite::Scale::kTiny);
+  const Graph& g = inst.graph;
+
+  set_num_threads(1);
+  mc::LazyMCConfig base;
+  base.split_mode = mc::SplitMode::kOff;
+  const auto baseline = mc::lazy_mc(g, base);
+  ASSERT_TRUE(is_clique(g, baseline.clique));
+
+  for (std::size_t threads : {1, 2, 8}) {
+    set_num_threads(threads);
+    for (mc::SplitMode mode : {mc::SplitMode::kOn, mc::SplitMode::kAuto,
+                               mc::SplitMode::kOff}) {
+      mc::LazyMCConfig cfg;
+      cfg.split_mode = mode;
+      // Low threshold so forced-on splitting actually fires where any
+      // subproblem survives at tiny scale.
+      cfg.split_min_cands = 8;
+      auto r = mc::lazy_mc(g, cfg);
+      EXPECT_EQ(r.omega, baseline.omega)
+          << GetParam() << " threads=" << threads
+          << " mode=" << static_cast<int>(mode);
+      EXPECT_TRUE(is_clique(g, r.clique));
+      EXPECT_FALSE(r.timed_out);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInstances, SplitSweepTest,
+                         testing::ValuesIn(suite::instance_names()),
+                         [](const testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace lazymc

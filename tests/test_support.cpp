@@ -4,6 +4,7 @@
 #include <atomic>
 #include <numeric>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -169,6 +170,86 @@ TEST(WorkQueue, AbandonedDrainLeavesQueueConsistent) {
   for (int i = 0; i < 100; ++i) {
     EXPECT_TRUE(claimed.count(i) + rest.count(i) == 1) << "lost item " << i;
   }
+}
+
+TEST(TaskGroup, CountsNestedWork) {
+  TaskGroup group;
+  EXPECT_TRUE(group.done());
+  group.add(3);
+  EXPECT_FALSE(group.done());
+  EXPECT_EQ(group.pending(), 3u);
+  group.add();  // a nested child appears mid-drain
+  group.complete();
+  group.complete();
+  group.complete();
+  EXPECT_FALSE(group.done());
+  group.complete();
+  EXPECT_TRUE(group.done());
+}
+
+TEST(DrainQueue, NestedPushesCompleteBeforeDrainEnds) {
+  // Each seed item spawns a chain of children; queue emptiness is not a
+  // termination signal (a chain's next link appears only when its parent
+  // is processed), so only the TaskGroup accounting can end the drain.
+  ThreadPool pool(4);
+  const std::size_t shards = pool.num_threads();
+  WorkQueue<int> q(shards);
+  TaskGroup group;
+  const int kSeeds = 16, kChain = 5;
+  group.add(kSeeds);
+  for (int i = 0; i < kSeeds; ++i) q.push(i % shards, kChain - 1);
+  std::atomic<int> processed{0};
+  drain_queue(
+      pool, q, group,
+      [&](std::size_t p, int& item) {
+        processed.fetch_add(1);
+        if (item > 0) {
+          group.add();
+          q.push(p, item - 1);
+        }
+      },
+      [] { return false; });
+  EXPECT_EQ(processed.load(), kSeeds * kChain);
+  EXPECT_TRUE(group.done());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(DrainQueue, StopPredicateAbandonsPendingWork) {
+  ThreadPool pool(4);
+  WorkQueue<int> q(pool.num_threads());
+  TaskGroup group;
+  group.add(50);
+  for (int i = 0; i < 50; ++i) q.push(0, i);
+  std::atomic<int> processed{0};
+  std::atomic<bool> stop{false};
+  drain_queue(
+      pool, q, group,
+      [&](std::size_t, int&) {
+        processed.fetch_add(1);
+        stop.store(true);  // cancel after the first few items
+      },
+      [&] { return stop.load(); });
+  // Everyone bailed: work remains both in the queue and in the group.
+  EXPECT_LT(processed.load(), 50);
+  EXPECT_FALSE(group.done());
+}
+
+TEST(DrainQueue, ExceptionInProcessReleasesAllParticipants) {
+  ThreadPool pool(4);
+  WorkQueue<int> q(pool.num_threads());
+  TaskGroup group;
+  group.add(200);
+  for (int i = 0; i < 200; ++i) q.push(i % pool.num_threads(), i);
+  EXPECT_THROW(
+      drain_queue(
+          pool, q, group,
+          [&](std::size_t, int& item) {
+            if (item == 7) throw std::runtime_error("boom");
+          },
+          [] { return false; }),
+      std::runtime_error);
+  // The point is that this returns at all (no participant hangs on the
+  // permanently non-done group).
 }
 
 TEST(WorkQueue, ConcurrentPushPopStealStress) {
