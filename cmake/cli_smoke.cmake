@@ -78,4 +78,14 @@ expect("${fail_out}" "\"error\":" "bad instance reported as an error object")
 run_lazymc(split_out --graph "${clq}" --split on --split-min-cands 2 --json)
 expect("${split_out}" "\"omega\":4" "split-on omega")
 
+# 7. Split-work estimation gate must not change omega either.
+run_lazymc(work_out --graph "${clq}" --split on --split-min-cands 2
+           --split-min-work 1 --json)
+expect("${work_out}" "\"omega\":4" "split-min-work omega")
+
+# 8. The scalar kernel tier can always be forced; the report names it.
+run_lazymc(kern_out --graph "${clq}" --kernels scalar --json)
+expect("${kern_out}" "\"omega\":4" "kernels-scalar omega")
+expect("${kern_out}" "\"tier\":\"scalar\"" "forced tier surfaced in report")
+
 message(STATUS "cli_smoke passed")

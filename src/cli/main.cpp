@@ -23,6 +23,7 @@
 #include "support/control.hpp"
 #include "support/json.hpp"
 #include "support/parallel.hpp"
+#include "support/simd.hpp"
 #include "support/timer.hpp"
 
 namespace lazymc::cli {
@@ -55,6 +56,15 @@ void solve_into(const Options& options, RunReport& report, const Graph& g) {
       config.split_depth = static_cast<unsigned>(options.split_depth);
       config.split_min_cands =
           static_cast<VertexId>(options.split_min_cands);
+      config.split_min_work = options.split_min_work;
+      switch (options.kernels) {
+        case Kernels::kAuto: break;  // leave the dispatcher on best-tier
+        case Kernels::kScalar: config.kernel_tier = simd::Tier::kScalar;
+          break;
+        case Kernels::kAvx2: config.kernel_tier = simd::Tier::kAvx2; break;
+        case Kernels::kAvx512: config.kernel_tier = simd::Tier::kAvx512;
+          break;
+      }
       config.time_limit_seconds = options.time_limit_seconds;
       report.lazymc = mc::lazy_mc(g, config);
       report.has_lazymc = true;

@@ -47,6 +47,15 @@ Split parse_split(const std::string& name) {
   fail("unknown split mode '" + name + "' (expected auto|on|off)");
 }
 
+Kernels parse_kernels(const std::string& name) {
+  if (name == "auto") return Kernels::kAuto;
+  if (name == "scalar") return Kernels::kScalar;
+  if (name == "avx2") return Kernels::kAvx2;
+  if (name == "avx512") return Kernels::kAvx512;
+  fail("unknown kernel tier '" + name +
+       "' (expected auto|scalar|avx2|avx512)");
+}
+
 std::size_t parse_size(const std::string& flag, const std::string& v) {
   errno = 0;
   char* end = nullptr;
@@ -106,6 +115,13 @@ std::string usage() {
       "                       0 disables splitting)\n"
       "  --split-min-cands N  minimum candidate-set size for a frame to\n"
       "                       be carved into a task (default 128)\n"
+      "  --split-min-work N   gate task carving on the work estimate\n"
+      "                       candidates x density >= N instead of the raw\n"
+      "                       candidate count (default 0 = count rule)\n"
+      "  --kernels TIER       SIMD tier for the word-parallel kernels:\n"
+      "                       auto (default; best of build + CPU) |\n"
+      "                       scalar | avx2 | avx512 (forced tiers fail\n"
+      "                       when not compiled in / CPU-supported)\n"
       "  --json               emit the result as JSON on stdout\n"
       "                       (implied by batch mode)\n"
       "  --help, -h           print this message\n";
@@ -156,6 +172,10 @@ Options parse_options(int argc, char** argv, bool& wants_help) {
       options.split_depth = parse_size(arg, value(i, arg));
     } else if (arg == "--split-min-cands") {
       options.split_min_cands = parse_size(arg, value(i, arg));
+    } else if (arg == "--split-min-work") {
+      options.split_min_work = parse_size(arg, value(i, arg));
+    } else if (arg == "--kernels") {
+      options.kernels = parse_kernels(value(i, arg));
     } else if (arg == "--threads") {
       options.threads = parse_size(arg, value(i, arg));
     } else if (arg == "--time-limit") {

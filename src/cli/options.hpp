@@ -6,6 +6,7 @@
 //          [--order coreness|peeling] [--rep auto|hash|sorted|bitset]
 //          [--bitset-budget-mb N] [--pre-density]
 //          [--split auto|on|off] [--split-depth N] [--split-min-cands N]
+//          [--split-min-work N] [--kernels auto|scalar|avx2|avx512]
 //          [--json]
 //
 // `--graph` may repeat and `--manifest` names a file with one graph spec
@@ -41,6 +42,11 @@ enum class Rep { kAuto, kHash, kSorted, kBitset };
 /// Subproblem-splitting mode (lazymc solver only); mirrors mc::SplitMode.
 enum class Split { kAuto, kOn, kOff };
 
+/// SIMD kernel tier for the word-parallel kernels (lazymc solver only):
+/// auto picks the best tier the build and CPU support; the rest force one
+/// for A/B runs and fail when unavailable.
+enum class Kernels { kAuto, kScalar, kAvx2, kAvx512 };
+
 struct Options {
   /// One entry per --graph flag (file path or "gen:name[:scale]").
   std::vector<std::string> graph_specs;
@@ -55,6 +61,8 @@ struct Options {
   Split split = Split::kAuto;
   std::size_t split_depth = 2;       // 0 disables splitting
   std::size_t split_min_cands = 128;
+  std::size_t split_min_work = 0;    // 0 = count rule, >0 = work estimate
+  Kernels kernels = Kernels::kAuto;
   std::size_t threads = 0;  // 0 = hardware default
   double time_limit_seconds = std::numeric_limits<double>::infinity();
   bool json = false;

@@ -50,7 +50,8 @@ void render_text(const RunReport& r, std::ostream& out) {
       << " retired-chunks=" << s.retired_chunks << "\n";
   out << "split:    tasks=" << s.split_tasks
       << " retired-subtasks=" << s.retired_subtasks
-      << " max-depth=" << s.max_split_depth << "\n";
+      << " max-depth=" << s.max_split_depth
+      << " work-rejected=" << s.split_work_rejected << "\n";
   out << "          mc-nodes=" << s.mc_nodes << " vc-nodes=" << s.vc_nodes
       << " filter=" << s.filter_seconds << "s mc=" << s.mc_seconds
       << "s vc=" << s.vc_seconds << "s\n";
@@ -59,6 +60,10 @@ void render_text(const RunReport& r, std::ostream& out) {
       << " hash-batched=" << s.kernel_hash_batched
       << " bitset-probe=" << s.kernel_bitset_probe
       << " bitset-word=" << s.kernel_bitset_word << "\n";
+  out << "          simd-tier=" << s.simd_tier
+      << " word-scalar=" << s.kernel_word_scalar
+      << " word-avx2=" << s.kernel_word_avx2
+      << " word-avx512=" << s.kernel_word_avx512 << "\n";
   const auto& g = lz.lazy_graph;
   out << "lazygraph: hash-built=" << g.hash_built
       << " sorted-built=" << g.sorted_built
@@ -108,6 +113,7 @@ void render_json(const RunReport& r, std::ostream& out) {
     w.field("split_tasks", s.split_tasks);
     w.field("retired_subtasks", s.retired_subtasks);
     w.field("max_split_depth", s.max_split_depth);
+    w.field("split_work_rejected", s.split_work_rejected);
     w.field("filter_seconds", s.filter_seconds);
     w.field("mc_seconds", s.mc_seconds);
     w.field("vc_seconds", s.vc_seconds);
@@ -120,6 +126,10 @@ void render_json(const RunReport& r, std::ostream& out) {
     w.field("hash_batched", s.kernel_hash_batched);
     w.field("bitset_probe", s.kernel_bitset_probe);
     w.field("bitset_word", s.kernel_bitset_word);
+    w.field("tier", s.simd_tier);
+    w.field("word_scalar", s.kernel_word_scalar);
+    w.field("word_avx2", s.kernel_word_avx2);
+    w.field("word_avx512", s.kernel_word_avx512);
     w.close();
     w.close();
     const auto& g = lz.lazy_graph;

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "support/simd.hpp"
 
 namespace lazymc {
 
@@ -56,44 +57,70 @@ struct BitsetRow {
 
 /// Sparse word-list form of a *sorted* vertex array lying inside the zone.
 /// Rebuilt per filter round from scratch storage; building is O(|A|) and
-/// allocation-free once `entries` reaches its high-water capacity.
+/// allocation-free once the arrays reach their high-water capacity.
+///
+/// Stored structure-of-arrays (parallel `indices` / `bits` runs) so the
+/// SIMD kernel tiers can load a block of word indices and a block of bit
+/// masks with two straight vector loads, then gather the matching row
+/// words; entry k pairs indices()[k] with bits()[k].
 class SparseWordSet {
  public:
-  struct Entry {
-    std::uint32_t index;  // word index within the zone
-    std::uint64_t bits;
-  };
-
   /// Rebuilds from `sorted` (ascending, unique, every element >=
   /// zone_begin and inside the zone).
   void build(std::span<const VertexId> sorted, VertexId zone_begin) {
-    entries_.clear();
+    indices_.clear();
+    bits_.clear();
+    prefix_.clear();
+    prefix_.push_back(0);
     zone_begin_ = zone_begin;
     count_ = sorted.size();
     std::uint32_t cur_index = 0;
     std::uint64_t cur_bits = 0;
+    std::uint32_t seen = 0;
     bool open = false;
     for (VertexId v : sorted) {
       const VertexId off = v - zone_begin;
       const std::uint32_t w = off >> 6;
       if (!open || w != cur_index) {
-        if (open) entries_.push_back({cur_index, cur_bits});
+        if (open) {
+          indices_.push_back(cur_index);
+          bits_.push_back(cur_bits);
+          prefix_.push_back(seen);
+        }
         cur_index = w;
         cur_bits = 0;
         open = true;
       }
       cur_bits |= 1ULL << (off & 63);
+      ++seen;
     }
-    if (open) entries_.push_back({cur_index, cur_bits});
+    if (open) {
+      indices_.push_back(cur_index);
+      bits_.push_back(cur_bits);
+      prefix_.push_back(seen);
+    }
   }
 
-  const std::vector<Entry>& entries() const { return entries_; }
+  /// Occupied zone-word indices, ascending.
+  std::span<const std::uint32_t> indices() const { return indices_; }
+  /// The non-zero characteristic-vector word for each index.
+  std::span<const std::uint64_t> bits() const { return {bits_.data(),
+                                                        bits_.size()}; }
+  /// prefix()[k] = set bits in entries [0, k); size num_entries() + 1.
+  /// Precomputed once per build so the kernels' per-block miss-budget
+  /// check needs no popcount of the A side at all (h <= 0 is equivalent
+  /// to hits + (|A| - prefix) <= θ) — the build is amortized over one
+  /// kernel call per candidate in the filter round that built it.
+  std::span<const std::uint32_t> prefix() const { return prefix_; }
+  std::size_t num_entries() const { return indices_.size(); }
   /// Total number of set bits (= |A|).
   std::size_t count() const { return count_; }
   VertexId zone_begin() const { return zone_begin_; }
 
  private:
-  std::vector<Entry> entries_;
+  std::vector<std::uint32_t> indices_;
+  simd::AlignedWords bits_;
+  std::vector<std::uint32_t> prefix_;
   std::size_t count_ = 0;
   VertexId zone_begin_ = 0;
 };

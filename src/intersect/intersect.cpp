@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "intersect/wp_kernels.hpp"
+
 namespace lazymc {
 
 bool SortedLookup::contains(VertexId v) const {
@@ -168,83 +170,49 @@ std::size_t intersect_sorted_size(std::span<const VertexId> a,
 }
 
 // ---- word-parallel kernels (SparseWordSet x BitsetRow) --------------------
+//
+// The kernel bodies live in intersect/wp_kernels.hpp, instantiated once
+// per SIMD tier; the public functions below route through the tier table
+// selected by simd::current_tier() (see support/simd.hpp for the
+// compile-guard / CPUID / --kernels interplay).  Every tier returns
+// bit-identical results; the tiers differ only in how many zone words
+// each budget check covers.
+
+namespace wp {
+
+const Table& scalar_table() {
+  static constexpr Table table = make_table<ScalarOps>(simd::Tier::kScalar);
+  return table;
+}
+
+const Table& active_table() {
+  return simd::pick_table(scalar_table(), avx2_table(), avx512_table());
+}
+
+}  // namespace wp
 
 int intersect_gt(const SparseWordSet& a, const BitsetRow& b, VertexId* out,
                  std::int64_t theta) {
-  const std::int64_t n = static_cast<std::int64_t>(a.count());
-  const std::int64_t m = static_cast<std::int64_t>(b.size());
-  if (n <= theta || m <= theta) return kTooSmall;
-  std::int64_t h = n - theta;  // tolerable misses from A
-  std::int64_t written = 0;
-  const VertexId base = b.zone_begin;
-  for (const SparseWordSet::Entry& e : a.entries()) {
-    const std::uint64_t both = e.bits & b.words[e.index];
-    h -= std::popcount(e.bits) - std::popcount(both);
-    std::uint64_t w = both;
-    while (w) {
-      const unsigned bit = static_cast<unsigned>(std::countr_zero(w));
-      out[written++] = base + (static_cast<VertexId>(e.index) << 6) + bit;
-      w &= w - 1;
-    }
-    if (h <= 0) return kTooSmall;
-  }
-  return static_cast<int>(written);
+  return wp::active_table().gt(a, b, out, theta);
 }
 
 int intersect_size_gt_val(const SparseWordSet& a, const BitsetRow& b,
                           std::int64_t theta) {
-  const std::int64_t n = static_cast<std::int64_t>(a.count());
-  const std::int64_t m = static_cast<std::int64_t>(b.size());
-  if (n <= theta || m <= theta) return kTooSmall;
-  std::int64_t h = n - theta;
-  std::int64_t hits = 0;
-  for (const SparseWordSet::Entry& e : a.entries()) {
-    const int hw = std::popcount(e.bits & b.words[e.index]);
-    hits += hw;
-    h -= std::popcount(e.bits) - hw;
-    if (h <= 0) return kTooSmall;
-  }
-  return static_cast<int>(hits);
+  return wp::active_table().size_gt_val(a, b, theta);
 }
 
 bool intersect_size_gt_bool(const SparseWordSet& a, const BitsetRow& b,
                             std::int64_t theta, bool enable_second_exit) {
-  const std::int64_t n = static_cast<std::int64_t>(a.count());
-  const std::int64_t m = static_cast<std::int64_t>(b.size());
-  if (n <= theta || m <= theta) return false;
-  std::int64_t h = n - theta;
-  std::int64_t hits = 0;
-  for (const SparseWordSet::Entry& e : a.entries()) {
-    const int hw = std::popcount(e.bits & b.words[e.index]);
-    hits += hw;
-    h -= std::popcount(e.bits) - hw;
-    if (h <= 0) return false;                         // exit 1, per word
-    if (enable_second_exit && hits > theta) return true;  // exit 2
-  }
-  return hits > theta;
+  return wp::active_table().size_gt_bool(a, b, theta, enable_second_exit);
 }
 
 std::size_t intersect_size(const SparseWordSet& a, const BitsetRow& b) {
-  std::size_t hits = 0;
-  for (const SparseWordSet::Entry& e : a.entries()) {
-    hits += static_cast<std::size_t>(std::popcount(e.bits & b.words[e.index]));
-  }
-  return hits;
+  return wp::active_table().size(a, b);
 }
 
 std::size_t intersect_words(const SparseWordSet& a, const BitsetRow& b,
                             VertexId* out) {
-  std::size_t written = 0;
-  const VertexId base = b.zone_begin;
-  for (const SparseWordSet::Entry& e : a.entries()) {
-    std::uint64_t w = e.bits & b.words[e.index];
-    while (w) {
-      const unsigned bit = static_cast<unsigned>(std::countr_zero(w));
-      out[written++] = base + (static_cast<VertexId>(e.index) << 6) + bit;
-      w &= w - 1;
-    }
-  }
-  return written;
+  return wp::active_table().words(a, b, out);
 }
 
 // ---- prefetched batch probing into a HopscotchSet -------------------------

@@ -1,0 +1,102 @@
+// AVX2 instantiation of the word-parallel kernels: 16-word blocks as four
+// 256-bit halves (straight loads of the SoA SparseWordSet, VPGATHERQQ —
+// or straight loads on the contiguous dense-zone path — for the row
+// words), nibble-LUT popcounts folded with one horizontal reduce per
+// block (the per-block budget check is the only consumer of the scalar
+// sum, so wider blocks amortize both the reduce and the check).
+#include "intersect/wp_kernels.hpp"
+
+#if LAZYMC_HAVE_AVX2
+
+namespace lazymc::wp {
+namespace {
+
+struct Avx2Ops {
+  static constexpr std::size_t kWidth = 16;
+
+  static std::int64_t reduce4(__m256i a, __m256i b, __m256i c, __m256i d) {
+    const __m256i ab = _mm256_add_epi64(simd::popcount_epi64(a),
+                                        simd::popcount_epi64(b));
+    const __m256i cd = _mm256_add_epi64(simd::popcount_epi64(c),
+                                        simd::popcount_epi64(d));
+    return static_cast<std::int64_t>(
+        simd::reduce_add_epi64(_mm256_add_epi64(ab, cd)));
+  }
+
+  static __m256i and_gather(const std::uint32_t* idx,
+                            const std::uint64_t* bits,
+                            const std::uint64_t* row) {
+    const __m128i vi =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx));
+    const __m256i gathered = _mm256_i32gather_epi64(
+        reinterpret_cast<const long long*>(row), vi, 8);
+    return _mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bits)), gathered);
+  }
+
+  static __m256i and_contig(const std::uint64_t* bits,
+                            const std::uint64_t* rowp) {
+    return _mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bits)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rowp)));
+  }
+
+  static std::int64_t count(const std::uint32_t* idx,
+                            const std::uint64_t* bits,
+                            const std::uint64_t* row) {
+    return reduce4(and_gather(idx, bits, row),
+                   and_gather(idx + 4, bits + 4, row),
+                   and_gather(idx + 8, bits + 8, row),
+                   and_gather(idx + 12, bits + 12, row));
+  }
+
+  static std::int64_t count_contig(const std::uint64_t* bits,
+                                   const std::uint64_t* rowp) {
+    return reduce4(and_contig(bits, rowp), and_contig(bits + 4, rowp + 4),
+                   and_contig(bits + 8, rowp + 8),
+                   and_contig(bits + 12, rowp + 12));
+  }
+
+  static std::int64_t fill(const std::uint32_t* idx, const std::uint64_t* bits,
+                           const std::uint64_t* row, std::uint64_t* out) {
+    const __m256i v0 = and_gather(idx, bits, row);
+    const __m256i v1 = and_gather(idx + 4, bits + 4, row);
+    const __m256i v2 = and_gather(idx + 8, bits + 8, row);
+    const __m256i v3 = and_gather(idx + 12, bits + 12, row);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), v0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 4), v1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 8), v2);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 12), v3);
+    return reduce4(v0, v1, v2, v3);
+  }
+
+  static std::int64_t fill_contig(const std::uint64_t* bits,
+                                  const std::uint64_t* rowp,
+                                  std::uint64_t* out) {
+    const __m256i v0 = and_contig(bits, rowp);
+    const __m256i v1 = and_contig(bits + 4, rowp + 4);
+    const __m256i v2 = and_contig(bits + 8, rowp + 8);
+    const __m256i v3 = and_contig(bits + 12, rowp + 12);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), v0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 4), v1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 8), v2);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 12), v3);
+    return reduce4(v0, v1, v2, v3);
+  }
+};
+
+constexpr Table kAvx2 = make_table<Avx2Ops>(simd::Tier::kAvx2);
+
+}  // namespace
+
+const Table* avx2_table() { return &kAvx2; }
+
+}  // namespace lazymc::wp
+
+#else  // !LAZYMC_HAVE_AVX2
+
+namespace lazymc::wp {
+const Table* avx2_table() { return nullptr; }
+}  // namespace lazymc::wp
+
+#endif

@@ -1,0 +1,73 @@
+// AVX-512 instantiation of the word-parallel kernels: one 512-bit vector
+// per 8-word block, 32-bit-index gathers (or straight loads on the
+// contiguous dense-zone path) and native VPOPCNTQ (guarded by
+// __AVX512F__ + __AVX512VPOPCNTDQ__).
+#include "intersect/wp_kernels.hpp"
+
+#if LAZYMC_HAVE_AVX512
+
+namespace lazymc::wp {
+namespace {
+
+struct Avx512Ops {
+  static constexpr std::size_t kWidth = 8;
+
+  static __m512i and_gather(const std::uint32_t* idx,
+                            const std::uint64_t* bits,
+                            const std::uint64_t* row) {
+    const __m256i vi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx));
+    return _mm512_and_si512(_mm512_loadu_si512(bits),
+                            _mm512_i32gather_epi64(vi, row, 8));
+  }
+
+  static __m512i and_contig(const std::uint64_t* bits,
+                            const std::uint64_t* rowp) {
+    return _mm512_and_si512(_mm512_loadu_si512(bits),
+                            _mm512_loadu_si512(rowp));
+  }
+
+  static std::int64_t count(const std::uint32_t* idx,
+                            const std::uint64_t* bits,
+                            const std::uint64_t* row) {
+    return _mm512_reduce_add_epi64(
+        _mm512_popcnt_epi64(and_gather(idx, bits, row)));
+  }
+
+  static std::int64_t count_contig(const std::uint64_t* bits,
+                                   const std::uint64_t* rowp) {
+    return _mm512_reduce_add_epi64(
+        _mm512_popcnt_epi64(and_contig(bits, rowp)));
+  }
+
+  static std::int64_t fill(const std::uint32_t* idx, const std::uint64_t* bits,
+                           const std::uint64_t* row, std::uint64_t* out) {
+    const __m512i both = and_gather(idx, bits, row);
+    _mm512_storeu_si512(out, both);
+    return _mm512_reduce_add_epi64(_mm512_popcnt_epi64(both));
+  }
+
+  static std::int64_t fill_contig(const std::uint64_t* bits,
+                                  const std::uint64_t* rowp,
+                                  std::uint64_t* out) {
+    const __m512i both = and_contig(bits, rowp);
+    _mm512_storeu_si512(out, both);
+    return _mm512_reduce_add_epi64(_mm512_popcnt_epi64(both));
+  }
+};
+
+constexpr Table kAvx512 = make_table<Avx512Ops>(simd::Tier::kAvx512);
+
+}  // namespace
+
+const Table* avx512_table() { return &kAvx512; }
+
+}  // namespace lazymc::wp
+
+#else  // !LAZYMC_HAVE_AVX512
+
+namespace lazymc::wp {
+const Table* avx512_table() { return nullptr; }
+}  // namespace lazymc::wp
+
+#endif

@@ -88,26 +88,28 @@ void LazyGraph::build_sorted(VertexId v) {
 
 std::uint64_t* LazyGraph::carve_row() {
   SpinLockGuard guard(arena_lock_);
-  if (slab_words_left_ < row_words_) {
+  if (slab_words_left_ < row_stride_words_) {
     // The caller already reserved this row from the budget, so `remaining`
     // counts the *other* rows that can still be admitted; sizing the slab
     // to them (plus this row) keeps total arena allocation within the
     // budget instead of overshooting by up to a slab.
     const std::int64_t remaining =
         bitset_budget_words_.load(std::memory_order_relaxed);
-    std::size_t words = row_words_;
+    std::size_t words = row_stride_words_;
     if (remaining > 0) {
-      words += std::min(slab_words_ - row_words_,
-                        static_cast<std::size_t>(remaining) / row_words_ *
-                            row_words_);
+      words += std::min(slab_words_ - row_stride_words_,
+                        static_cast<std::size_t>(remaining) /
+                            row_stride_words_ * row_stride_words_);
     }
-    row_slabs_.push_back(std::make_unique<std::uint64_t[]>(words));
-    slab_cursor_ = row_slabs_.back().get();
+    // AlignedWords puts the slab base on a 64-byte boundary; carving at
+    // the row stride keeps every row on one too.
+    row_slabs_.emplace_back(words);
+    slab_cursor_ = row_slabs_.back().data();
     slab_words_left_ = words;
   }
   std::uint64_t* row = slab_cursor_;
-  slab_cursor_ += row_words_;
-  slab_words_left_ -= row_words_;
+  slab_cursor_ += row_stride_words_;
+  slab_words_left_ -= row_stride_words_;
   return row;
 }
 
@@ -115,8 +117,9 @@ void LazyGraph::build_bitset(VertexId v) {
   SpinLockGuard guard(locks_[v]);
   if (flags_[v].load(std::memory_order_relaxed) & kBitsetBuilt) return;
   if (bitset_exhausted_.load(std::memory_order_relaxed)) return;
-  // Reserve this row's words from the global budget before committing.
-  const std::int64_t words = static_cast<std::int64_t>(row_words_);
+  // Reserve this row's words (at the aligned stride) from the global
+  // budget before committing.
+  const std::int64_t words = static_cast<std::int64_t>(row_stride_words_);
   if (bitset_budget_words_.fetch_sub(words, std::memory_order_relaxed) <
       words) {
     bitset_budget_words_.fetch_add(words, std::memory_order_relaxed);
@@ -136,7 +139,7 @@ void LazyGraph::build_bitset(VertexId v) {
   row_ptr_[v - zone_begin_] = row;
   row_count_[v - zone_begin_] = count;
   stat_bitset_built_.fetch_add(1, std::memory_order_relaxed);
-  stat_bitset_words_.fetch_add(row_words_, std::memory_order_relaxed);
+  stat_bitset_words_.fetch_add(row_stride_words_, std::memory_order_relaxed);
   // The release publishes the row pointer and its contents to readers
   // that load the flag with acquire (row_view).
   flags_[v].fetch_or(kBitsetBuilt, std::memory_order_release);
@@ -165,6 +168,9 @@ void LazyGraph::enable_bitset_rows(std::size_t budget_bytes) {
   zone_begin_ = zb;
   zone_bits_ = zone_bits;
   row_words_ = (static_cast<std::size_t>(zone_bits_) + 63) / 64;
+  // Rows are carved at a 64-byte stride (whole cache lines) so each one
+  // starts aligned; the budget charges the stride, not the raw width.
+  row_stride_words_ = (row_words_ + 7) & ~std::size_t{7};
   row_ptr_.assign(zone_bits_, nullptr);
   row_count_.assign(zone_bits_, 0);
   const std::size_t budget_words = (budget_bytes - overhead) / 8;
@@ -172,11 +178,12 @@ void LazyGraph::enable_bitset_rows(std::size_t budget_bytes) {
   // what the zone or the budget can use — the allocator is touched once
   // per slab instead of once per row.
   std::size_t rows_per_slab =
-      std::max<std::size_t>(1, (std::size_t{1} << 17) / row_words_);
+      std::max<std::size_t>(1, (std::size_t{1} << 17) / row_stride_words_);
   rows_per_slab = std::min<std::size_t>(rows_per_slab, zone_bits_);
   rows_per_slab = std::min<std::size_t>(
-      rows_per_slab, std::max<std::size_t>(1, budget_words / row_words_));
-  slab_words_ = rows_per_slab * row_words_;
+      rows_per_slab,
+      std::max<std::size_t>(1, budget_words / row_stride_words_));
+  slab_words_ = rows_per_slab * row_stride_words_;
   slab_cursor_ = nullptr;
   slab_words_left_ = 0;
   bitset_budget_words_.store(static_cast<std::int64_t>(budget_words),

@@ -244,11 +244,15 @@ class LazyGraph {
   // instead of one heap vector per row — a built row costs 8 bytes of
   // bookkeeping (its pointer) plus its share of a slab, and concurrent
   // row builds touch the allocator ~once per slab rather than per row.
-  // Rows live as long as the graph; nothing is freed individually.
-  std::vector<std::unique_ptr<std::uint64_t[]>> row_slabs_;
+  // Slabs are 64-byte aligned and rows are carved at a 64-byte stride
+  // (row_stride_words_, row_words_ rounded up to 8), so every row starts
+  // on a cache-line boundary and aligned SIMD loads stay legal.  Rows
+  // live as long as the graph; nothing is freed individually.
+  std::size_t row_stride_words_ = 0;
+  std::vector<simd::AlignedWords> row_slabs_;
   std::uint64_t* slab_cursor_ = nullptr;
   std::size_t slab_words_left_ = 0;
-  std::size_t slab_words_ = 0;  // slab size, a multiple of row_words_
+  std::size_t slab_words_ = 0;  // slab size, a multiple of the row stride
   SpinLock arena_lock_;
   std::vector<std::uint64_t*> row_ptr_;  // null until the row is built
   std::vector<std::uint32_t> row_count_;

@@ -32,10 +32,14 @@
 
 #include "intersect/intersect.hpp"
 #include "lazygraph/lazy_graph.hpp"
+#include "support/simd.hpp"
 
 namespace lazymc::mc {
 
 /// Where dispatched intersections ran (relaxed; one bump per call).
+/// `word_tier[t]` splits the bitset_word count by the SIMD tier
+/// (scalar/avx2/avx512) that executed the call, so forced-tier A/B runs
+/// and the reports can show which kernel generation did the work.
 struct KernelCounters {
   std::atomic<std::uint64_t> merge{0};
   std::atomic<std::uint64_t> gallop{0};
@@ -43,6 +47,7 @@ struct KernelCounters {
   std::atomic<std::uint64_t> hash_batched{0};
   std::atomic<std::uint64_t> bitset_probe{0};
   std::atomic<std::uint64_t> bitset_word{0};
+  std::atomic<std::uint64_t> word_tier[simd::kNumTiers]{};
 };
 
 struct IntersectPolicy {
@@ -99,7 +104,7 @@ struct IntersectPolicy {
     if (b.has_bitset()) {
       const BitsetRow& row = b.bitset();
       if (a_words && a_words->zone_begin() == row.zone_begin) {
-        bump(&KernelCounters::bitset_word);
+        bump_word();
         if (!early_exits) {
           return static_cast<std::int64_t>(intersect_size(*a_words, row)) >
                  theta;
@@ -140,7 +145,7 @@ struct IntersectPolicy {
     if (b.has_bitset()) {
       const BitsetRow& row = b.bitset();
       if (a_words && a_words->zone_begin() == row.zone_begin) {
-        bump(&KernelCounters::bitset_word);
+        bump_word();
         if (!early_exits) {
           int n = static_cast<int>(intersect_size(*a_words, row));
           return n > theta ? n : kTooSmall;
@@ -181,7 +186,7 @@ struct IntersectPolicy {
     if (b.has_bitset()) {
       const BitsetRow& row = b.bitset();
       if (a_words && a_words->zone_begin() == row.zone_begin) {
-        bump(&KernelCounters::bitset_word);
+        bump_word();
         if (!early_exits) {
           int n = static_cast<int>(intersect_words(*a_words, row, out));
           return n > theta ? n : kTooSmall;
@@ -226,6 +231,13 @@ struct IntersectPolicy {
   }
   void bump(std::atomic<std::uint64_t> KernelCounters::* member) const {
     if (counters) (counters->*member).fetch_add(1, std::memory_order_relaxed);
+  }
+  /// bitset-word calls also record the SIMD tier that will run them.
+  void bump_word() const {
+    if (!counters) return;
+    counters->bitset_word.fetch_add(1, std::memory_order_relaxed);
+    counters->word_tier[static_cast<std::size_t>(simd::current_tier())]
+        .fetch_add(1, std::memory_order_relaxed);
   }
 };
 

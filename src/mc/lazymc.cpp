@@ -1,6 +1,7 @@
 #include "mc/lazymc.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "kcore/kcore.hpp"
 #include "kcore/order.hpp"
@@ -10,8 +11,47 @@
 
 namespace lazymc::mc {
 
+namespace {
+
+/// Forces the SIMD tier for the duration of one solve, restoring the
+/// previous dispatch state (forced or auto) on exit — so a forced
+/// baseline run does not silently leak its tier into a later auto run.
+/// The underlying knob is process-global (see LazyMCConfig::kernel_tier:
+/// concurrent solves must agree on it), so this is a plain save/restore,
+/// not a reentrant stack.
+class ScopedKernelTier {
+ public:
+  explicit ScopedKernelTier(std::optional<simd::Tier> tier)
+      : previous_(simd::forced_tier()), engaged_(tier.has_value()) {
+    if (engaged_ && !simd::force_tier(*tier)) {
+      throw std::runtime_error(
+          std::string("kernel tier '") + simd::tier_name(*tier) +
+          "' is not available (not compiled in, or unsupported by this CPU)");
+    }
+  }
+  ~ScopedKernelTier() {
+    if (!engaged_) return;
+    if (previous_) {
+      simd::force_tier(*previous_);
+    } else {
+      simd::reset_tier();
+    }
+  }
+
+ private:
+  std::optional<simd::Tier> previous_;
+  bool engaged_;
+};
+
+}  // namespace
+
 LazyMCResult lazy_mc(const Graph& g, const LazyMCConfig& config) {
   LazyMCResult result;
+  // Forced kernel tier (--kernels); applied before the empty-graph
+  // shortcut so a bad request fails loudly either way, and restored when
+  // the solve returns.
+  ScopedKernelTier tier_guard(config.kernel_tier);
+  result.search.simd_tier = simd::tier_name(simd::current_tier());
   if (g.num_vertices() == 0) return result;
 
   SolveControl control(config.time_limit_seconds);
@@ -82,6 +122,7 @@ LazyMCResult lazy_mc(const Graph& g, const LazyMCConfig& config) {
     n.split_mode = config.split_mode;
     n.split_min_cands = config.split_min_cands;
     n.split_depth = config.split_depth;
+    n.split_min_work = config.split_min_work;
     n.intersect = policy;
     n.control = &control;
     systematic_search(lazy, incumbent, n, stats);
@@ -104,12 +145,22 @@ LazyMCResult lazy_mc(const Graph& g, const LazyMCConfig& config) {
   result.search.split_tasks = stats.split_tasks.load();
   result.search.retired_subtasks = stats.retired_subtasks.load();
   result.search.max_split_depth = stats.max_split_depth.load();
+  result.search.split_work_rejected = stats.split_work_rejected.load();
   result.search.kernel_merge = stats.kernels.merge.load();
   result.search.kernel_gallop = stats.kernels.gallop.load();
   result.search.kernel_hash = stats.kernels.hash.load();
   result.search.kernel_hash_batched = stats.kernels.hash_batched.load();
   result.search.kernel_bitset_probe = stats.kernels.bitset_probe.load();
   result.search.kernel_bitset_word = stats.kernels.bitset_word.load();
+  result.search.kernel_word_scalar =
+      stats.kernels.word_tier[static_cast<std::size_t>(simd::Tier::kScalar)]
+          .load();
+  result.search.kernel_word_avx2 =
+      stats.kernels.word_tier[static_cast<std::size_t>(simd::Tier::kAvx2)]
+          .load();
+  result.search.kernel_word_avx512 =
+      stats.kernels.word_tier[static_cast<std::size_t>(simd::Tier::kAvx512)]
+          .load();
   result.search.filter_seconds = stats.filter_seconds();
   result.search.mc_seconds = stats.mc_seconds();
   result.search.vc_seconds = stats.vc_seconds();

@@ -14,12 +14,14 @@
 
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "lazygraph/lazy_graph.hpp"
 #include "mc/neighbor_search.hpp"
+#include "support/simd.hpp"
 
 namespace lazymc::mc {
 
@@ -76,6 +78,22 @@ struct LazyMCConfig {
   SplitMode split_mode = SplitMode::kAuto;
   VertexId split_min_cands = 128;
   unsigned split_depth = 2;
+  /// Split-work estimation: when > 0, frames are accepted on the work
+  /// estimate candidates x subproblem density (>= this value) instead of
+  /// the raw candidate count; 0 keeps the count-only rule.  See
+  /// NeighborSearchOptions::split_min_work.
+  std::uint64_t split_min_work = 0;
+  /// Forces the SIMD kernel tier (scalar/avx2/avx512) for every word
+  /// kernel during this solve; nullopt = auto (best tier the build and
+  /// CPU support, or whatever simd::force_tier the caller set).  Forcing
+  /// an unavailable tier makes lazy_mc throw.  The force is applied
+  /// process-wide for the duration of the solve (necessarily so: all of
+  /// the solve's pool workers must dispatch on the same tier) and the
+  /// previous state is restored on return.  Corollary: concurrent
+  /// lazy_mc calls must agree on kernel_tier (or leave it unset) —
+  /// overlapping solves forcing different tiers corrupt each other's
+  /// dispatch and the save/restore ordering.
+  std::optional<simd::Tier> kernel_tier;
   /// Wall-clock limit in seconds (Table II uses 1800 in the paper).
   double time_limit_seconds = std::numeric_limits<double>::infinity();
 };
@@ -108,6 +126,7 @@ struct SearchStatsSnapshot {
   std::uint64_t split_tasks = 0;
   std::uint64_t retired_subtasks = 0;
   std::uint64_t max_split_depth = 0;
+  std::uint64_t split_work_rejected = 0;
   // Adaptive-dispatch kernel counts (KernelCounters snapshot).
   std::uint64_t kernel_merge = 0;
   std::uint64_t kernel_gallop = 0;
@@ -115,6 +134,12 @@ struct SearchStatsSnapshot {
   std::uint64_t kernel_hash_batched = 0;
   std::uint64_t kernel_bitset_probe = 0;
   std::uint64_t kernel_bitset_word = 0;
+  // bitset-word calls split by executing SIMD tier, plus the tier the
+  // dispatcher had selected when the solve ran ("scalar"/"avx2"/"avx512").
+  std::uint64_t kernel_word_scalar = 0;
+  std::uint64_t kernel_word_avx2 = 0;
+  std::uint64_t kernel_word_avx512 = 0;
+  std::string simd_tier;
   double filter_seconds = 0;
   double mc_seconds = 0;
   double vc_seconds = 0;

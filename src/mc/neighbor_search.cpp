@@ -8,6 +8,7 @@
 #include "graph/subgraph.hpp"
 #include "support/parallel.hpp"
 #include "support/timer.hpp"
+#include "support/wordops.hpp"
 
 namespace lazymc::mc {
 namespace {
@@ -31,10 +32,12 @@ void atomic_max(std::atomic<std::uint64_t>& target, std::uint64_t value) {
 /// vertices that reach a detailed search.
 ///
 /// Rows backed by a bitset are filled word-wise: the members' own word
-/// form (scratch.a_words) is ANDed against the row, and each surviving
-/// bit is mapped back to its local index with a monotone cursor (hits and
-/// members share the ascending relabelled order).  Rows without a bitset
-/// fall back to per-pair membership probes.
+/// form (scratch.a_words) is ANDed against the row by the dispatched
+/// gather_and primitive (SIMD tier permitting) into scratch.and_words,
+/// and each surviving bit is mapped back to its local index with a
+/// monotone cursor (hits and members share the ascending relabelled
+/// order).  Rows without a bitset fall back to per-pair membership
+/// probes.
 void induce_from_lazy(LazyGraph& h, const std::vector<VertexId>& members,
                       DenseSubgraph& out, SearchScratch& scratch) {
   const std::size_t n = members.size();
@@ -44,8 +47,10 @@ void induce_from_lazy(LazyGraph& h, const std::vector<VertexId>& members,
   const bool words_ready = h.bitset_enabled() && n >= 2;
   if (words_ready) {
     scratch.a_words.build({members.data(), members.size()}, h.zone_begin());
+    scratch.and_words.resize(scratch.a_words.num_entries());
   }
   const VertexId zone_begin = h.zone_begin();
+  const wordops::Table& ops = wordops::active();
   for (std::size_t i = 0; i < n; ++i) {
     NeighborhoodView view = h.membership(members[i]);
     if (words_ready && view.has_bitset()) {
@@ -54,16 +59,24 @@ void induce_from_lazy(LazyGraph& h, const std::vector<VertexId>& members,
       const VertexId off_i = members[i] - zone_begin;
       const std::uint32_t first_word = off_i >> 6;
       const std::uint64_t first_mask = ~((2ULL << (off_i & 63)) - 1);
+      const std::span<const std::uint32_t> idx = scratch.a_words.indices();
+      const std::span<const std::uint64_t> bits = scratch.a_words.bits();
+      const std::size_t start = static_cast<std::size_t>(
+          std::lower_bound(idx.begin(), idx.end(), first_word) - idx.begin());
+      const std::size_t cnt = idx.size() - start;
+      std::uint64_t* hit_words = scratch.and_words.data();
+      ops.gather_and(hit_words, bits.data() + start, idx.data() + start,
+                     row.words, cnt);
+      if (cnt > 0 && idx[start] == first_word) hit_words[0] &= first_mask;
       std::size_t j = i + 1;
-      for (const SparseWordSet::Entry& e : scratch.a_words.entries()) {
-        if (e.index < first_word) continue;
-        std::uint64_t hits = e.bits & row.words[e.index];
-        if (e.index == first_word) hits &= first_mask;
+      for (std::size_t e = 0; e < cnt; ++e) {
+        std::uint64_t hits = hit_words[e];
+        const VertexId word_base =
+            zone_begin + (static_cast<VertexId>(idx[start + e]) << 6);
         while (hits) {
           const unsigned bit =
               static_cast<unsigned>(std::countr_zero(hits));
-          const VertexId u = zone_begin +
-                             (static_cast<VertexId>(e.index) << 6) + bit;
+          const VertexId u = word_base + bit;
           while (members[j] < u) ++j;  // monotone: hits ⊆ members, ascending
           out.adj[i].set(j);
           out.adj[j].set(i);
@@ -106,7 +119,7 @@ class SplitHook final : public BBSplitHook {
             SearchStats& stats, const LazyGraph& h, VertexId head,
             const DenseSubgraph& sub)
       : sink_(sink), options_(options), stats_(stats), h_(&h), head_(head),
-        sub_(&sub) {}
+        sub_(&sub), density_(sub.density()) {}
 
   /// Task mode: re-splitting a claimed task of generation `parent_depth`.
   SplitHook(SubproblemSink* sink, const NeighborSearchOptions& options,
@@ -114,7 +127,8 @@ class SplitHook final : public BBSplitHook {
             std::shared_ptr<const SharedSubproblem> shared,
             std::uint32_t parent_depth)
       : sink_(sink), options_(options), stats_(stats),
-        shared_(std::move(shared)), parent_depth_(parent_depth) {}
+        density_(shared->graph.density()), shared_(std::move(shared)),
+        parent_depth_(parent_depth) {}
 
   bool offer(std::span<const VertexId> prefix,
              const DynamicBitset& candidates, VertexId potential) override {
@@ -125,9 +139,7 @@ class SplitHook final : public BBSplitHook {
     // pre-split bound, whereas as queued tasks the big frames complete
     // first and the claim-time incumbent check retires the tail for the
     // cost of one comparison.  The cap is a runaway guard only.
-    if (!sticky_ && candidates.count() < options_.split_min_cands) {
-      return false;
-    }
+    if (!sticky_ && !frame_accepted(candidates.count())) return false;
     if (accepts_left_ == 0) return false;
     if (!shared_) materialize();
     sticky_ = true;
@@ -156,6 +168,23 @@ class SplitHook final : public BBSplitHook {
   }
 
  private:
+  /// Split-work estimation: with split_min_work set, gate on candidates x
+  /// subproblem density (the branching mass the B&B faces) rather than
+  /// the raw count; a frame big enough for the old count rule that the
+  /// estimate rejects is counted, so sweeps can see the gate working.
+  bool frame_accepted(std::size_t cands) {
+    if (options_.split_min_work == 0) {
+      return cands >= options_.split_min_cands;
+    }
+    const bool accept =
+        static_cast<double>(cands) * density_ >=
+        static_cast<double>(options_.split_min_work);
+    if (!accept && cands >= options_.split_min_cands) {
+      stats_.split_work_rejected.fetch_add(1, std::memory_order_relaxed);
+    }
+    return accept;
+  }
+
   void materialize() {
     const std::size_t n = sub_->size();
     const auto& new_to_orig = h_->order().new_to_orig;
@@ -179,6 +208,7 @@ class SplitHook final : public BBSplitHook {
   const LazyGraph* h_ = nullptr;
   VertexId head_ = 0;
   const DenseSubgraph* sub_ = nullptr;
+  double density_ = 0;  // of the (shared) subproblem, for the work estimate
   std::shared_ptr<const SharedSubproblem> shared_;
   std::uint32_t parent_depth_ = 0;
   bool sticky_ = false;
@@ -347,10 +377,24 @@ void neighbor_search(LazyGraph& h, VertexId v, Incumbent& incumbent,
     bb.live_bound = &incumbent.size_atomic();
     bb.live_bound_offset = 1;
     SplitHook hook(sink, options, stats, h, v, sub);
-    if (sink != nullptr && options.split_mode != SplitMode::kOff &&
-        options.split_depth > 0 &&
-        sub.size() >= options.split_min_cands) {
+    // Root frames can hold at most sub.size() candidates, so when even
+    // that fails the active acceptance rule no offer could succeed and
+    // the hook is not installed at all.
+    const bool any_frame_may_split =
+        options.split_min_work > 0
+            ? static_cast<double>(sub.size()) * sub.density() >=
+                  static_cast<double>(options.split_min_work)
+            : sub.size() >= options.split_min_cands;
+    const bool split_wanted = sink != nullptr &&
+                              options.split_mode != SplitMode::kOff &&
+                              options.split_depth > 0;
+    if (split_wanted && any_frame_may_split) {
       bb.split = &hook;
+    } else if (split_wanted && options.split_min_work > 0 &&
+               sub.size() >= options.split_min_cands) {
+      // The count rule would have engaged the hook; the estimate said the
+      // whole subproblem is too sparse to be worth carving.
+      stats.split_work_rejected.fetch_add(1, std::memory_order_relaxed);
     }
     BBResult r = solve_mc_dense(sub, bb, scratch.mc);
     hook.flush();

@@ -80,6 +80,9 @@ struct SearchStats {
   std::atomic<std::uint64_t> split_tasks{0};
   std::atomic<std::uint64_t> retired_subtasks{0};
   std::atomic<std::uint64_t> max_split_depth{0};
+  // Frames big enough for the raw count rule (split_min_cands) that the
+  // work estimate (candidates x density, split_min_work mode) rejected.
+  std::atomic<std::uint64_t> split_work_rejected{0};
   // Where the adaptive dispatcher ran each intersection (wired into every
   // IntersectPolicy used by the solve; see mc/intersect_policy.hpp).
   KernelCounters kernels;
@@ -110,6 +113,7 @@ struct SearchScratch {
   std::vector<VertexId> kept;     // filter output, swapped with n_set
   std::vector<VertexId> clique;   // publish staging (original ids)
   SparseWordSet a_words;          // word form of n_set for bitset kernels
+  simd::AlignedWords and_words;   // induce_from_lazy's gathered AND rows
   DenseSubgraph sub;              // pooled induced subgraph
   DynamicBitset all;              // full candidate set for color_prune
   ColorScratch color;             // greedy-coloring buffers
@@ -203,6 +207,15 @@ struct NeighborSearchOptions {
   /// round-trip (frame copy + possible steal).  Frames below it recurse
   /// in the pooled solver as before.
   VertexId split_min_cands = 128;
+  /// Split-work estimation (ROADMAP item): when > 0, frames are accepted
+  /// on the estimate |candidates| x subproblem-density >= split_min_work
+  /// instead of the raw count rule above — a sparse 200-candidate frame
+  /// collapses in a few nodes and is not worth carving, while a dense
+  /// 150-candidate frame is genuinely exponential.  The estimate is the
+  /// expected in-frame degree mass, i.e. the branching factor the B&B
+  /// will actually face.  0 keeps the count-only rule; frames that pass
+  /// the count rule but fail the estimate bump stats.split_work_rejected.
+  std::uint64_t split_min_work = 0;
   /// Maximum split generations: 1 = only probe roots split, 2 = tasks may
   /// split once more, ... 0 disables splitting entirely.
   unsigned split_depth = 2;

@@ -2,11 +2,20 @@
 // solvers (mc::BBSolver, vc::KvcSolver).  Subproblems handed to those
 // solvers are small (bounded by coreness), so a flat 64-bit-word bitset with
 // popcount-based intersection is the fastest representation.
+//
+// Word storage is 64-byte aligned (simd::AlignedWords), so every row —
+// including the trimmed DenseSubgraph copies inside SharedSubproblem
+// tasks — starts on a cache-line boundary like the lazy-graph row arena;
+// the bulk word loops (count/count_and/and_with/...) route through the
+// runtime-dispatched wordops tier (scalar/AVX2/AVX-512) above a small-n
+// inline path.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#include "support/simd.hpp"
 
 namespace lazymc {
 
@@ -75,11 +84,15 @@ class DynamicBitset {
   std::uint64_t word(std::size_t w) const { return words_[w]; }
   std::uint64_t& word(std::size_t w) { return words_[w]; }
 
+  /// Raw word storage (64-byte aligned); for the wordops primitives.
+  const std::uint64_t* data() const { return words_.data(); }
+  std::uint64_t* data() { return words_.data(); }
+
   bool operator==(const DynamicBitset& other) const = default;
 
  private:
   std::size_t bits_ = 0;
-  std::vector<std::uint64_t> words_;
+  simd::AlignedWords words_;
 };
 
 }  // namespace lazymc

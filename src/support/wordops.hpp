@@ -1,0 +1,60 @@
+// Runtime-dispatched primitives over contiguous arrays of 64-bit words.
+//
+// Every word loop in the engine that is not an early-exit intersection —
+// DynamicBitset::count/count_and/and_with/..., DenseSubgraph row
+// complements, the k-VC degree-update rows, the induce_from_lazy row fill
+// — funnels through one of these primitives, so a single KernelDispatch
+// decision (support/simd.hpp) upgrades all of them to AVX2/AVX-512 at
+// once.  The scalar table is always present; the vector tables exist only
+// when their ISA was compiled in (wordops_avx2.cpp / wordops_avx512.cpp
+// under the LAZYMC_HAVE_* guards) and are reachable only when the CPU
+// supports them.
+//
+// All functions tolerate unaligned pointers and n == 0; `gather_and` is
+// the only non-contiguous one (indexed reads of `table`, for the sparse
+// word-set x bitset-row row fill).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "support/simd.hpp"
+
+namespace lazymc::wordops {
+
+struct Table {
+  simd::Tier tier;
+  /// Total set bits in src[0..n).
+  std::size_t (*popcount)(const std::uint64_t* src, std::size_t n);
+  /// Total set bits in (a & b)[0..n).
+  std::size_t (*popcount_and)(const std::uint64_t* a, const std::uint64_t* b,
+                              std::size_t n);
+  /// dst[i] &= src[i].
+  void (*and_assign)(std::uint64_t* dst, const std::uint64_t* src,
+                     std::size_t n);
+  /// dst[i] &= ~src[i].
+  void (*and_not_assign)(std::uint64_t* dst, const std::uint64_t* src,
+                         std::size_t n);
+  /// dst[i] = a[i] & b[i] (dst may alias a or b).
+  void (*and_into)(std::uint64_t* dst, const std::uint64_t* a,
+                   const std::uint64_t* b, std::size_t n);
+  /// dst[i] = ~src[i] (dst may alias src).
+  void (*not_into)(std::uint64_t* dst, const std::uint64_t* src,
+                   std::size_t n);
+  /// dst[i] = bits[i] & table[idx[i]] — the gathered AND at the heart of
+  /// the sparse-word-set kernels; dst must not alias table.
+  void (*gather_and)(std::uint64_t* dst, const std::uint64_t* bits,
+                     const std::uint32_t* idx, const std::uint64_t* table,
+                     std::size_t n);
+};
+
+const Table& scalar_table();
+/// Null when the respective ISA was not compiled in.
+const Table* avx2_table();
+const Table* avx512_table();
+
+/// The table for simd::current_tier() (falls back down-tier defensively
+/// if a forced tier has no table in this binary).
+const Table& active();
+
+}  // namespace lazymc::wordops

@@ -1,0 +1,133 @@
+// AVX2 word-array primitives: 256-bit lanes (4 words per step), popcount
+// via the PSHUFB nibble LUT (support/simd.hpp).  Compiled to an empty
+// registry unless the build enables __AVX2__ (-DLAZYMC_SIMD=avx2 or
+// -march=native); runtime reachability is additionally gated by CPUID in
+// simd::current_tier().
+#include "support/wordops.hpp"
+
+#if LAZYMC_HAVE_AVX2
+
+#include <bit>
+
+namespace lazymc::wordops {
+namespace {
+
+std::size_t v_popcount(const std::uint64_t* src, std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    acc = _mm256_add_epi64(acc, simd::popcount_epi64(v));
+  }
+  std::size_t c = simd::reduce_add_epi64(acc);
+  for (; i < n; ++i) c += std::popcount(src[i]);
+  return c;
+}
+
+std::size_t v_popcount_and(const std::uint64_t* a, const std::uint64_t* b,
+                           std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    acc = _mm256_add_epi64(acc,
+                           simd::popcount_epi64(_mm256_and_si256(va, vb)));
+  }
+  std::size_t c = simd::reduce_add_epi64(acc);
+  for (; i < n; ++i) c += std::popcount(a[i] & b[i]);
+  return c;
+}
+
+void v_and_assign(std::uint64_t* dst, const std::uint64_t* src,
+                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_and_si256(d, s));
+  }
+  for (; i < n; ++i) dst[i] &= src[i];
+}
+
+void v_and_not_assign(std::uint64_t* dst, const std::uint64_t* src,
+                      std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    // andnot computes (~first) & second.
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_andnot_si256(s, d));
+  }
+  for (; i < n; ++i) dst[i] &= ~src[i];
+}
+
+void v_and_into(std::uint64_t* dst, const std::uint64_t* a,
+                const std::uint64_t* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_and_si256(va, vb));
+  }
+  for (; i < n; ++i) dst[i] = a[i] & b[i];
+}
+
+void v_not_into(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  const __m256i ones = _mm256_set1_epi64x(-1);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(s, ones));
+  }
+  for (; i < n; ++i) dst[i] = ~src[i];
+}
+
+void v_gather_and(std::uint64_t* dst, const std::uint64_t* bits,
+                  const std::uint32_t* idx, const std::uint64_t* table,
+                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i vi =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + i));
+    const __m256i g = _mm256_i32gather_epi64(
+        reinterpret_cast<const long long*>(table), vi, 8);
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bits + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_and_si256(vb, g));
+  }
+  for (; i < n; ++i) dst[i] = bits[i] & table[idx[i]];
+}
+
+constexpr Table kAvx2{simd::Tier::kAvx2, v_popcount,  v_popcount_and,
+                      v_and_assign,      v_and_not_assign,
+                      v_and_into,        v_not_into,  v_gather_and};
+
+}  // namespace
+
+const Table* avx2_table() { return &kAvx2; }
+
+}  // namespace lazymc::wordops
+
+#else  // !LAZYMC_HAVE_AVX2
+
+namespace lazymc::wordops {
+const Table* avx2_table() { return nullptr; }
+}  // namespace lazymc::wordops
+
+#endif

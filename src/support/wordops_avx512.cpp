@@ -1,0 +1,143 @@
+// AVX-512 word-array primitives: 512-bit lanes (8 words per step) with
+// native per-lane popcount (VPOPCNTQ).  Guarded by __AVX512F__ +
+// __AVX512VPOPCNTDQ__; the tail uses a length mask instead of a scalar
+// loop.
+#include "support/wordops.hpp"
+
+#if LAZYMC_HAVE_AVX512
+
+namespace lazymc::wordops {
+namespace {
+
+inline __mmask8 tail_mask(std::size_t left) {
+  return static_cast<__mmask8>((1u << left) - 1u);
+}
+
+std::size_t v_popcount(const std::uint64_t* src, std::size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm512_add_epi64(
+        acc, _mm512_popcnt_epi64(_mm512_loadu_si512(src + i)));
+  }
+  if (i < n) {
+    const __mmask8 m = tail_mask(n - i);
+    const __m512i v = _mm512_maskz_loadu_epi64(m, src + i);
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+  }
+  return static_cast<std::size_t>(_mm512_reduce_add_epi64(acc));
+}
+
+std::size_t v_popcount_and(const std::uint64_t* a, const std::uint64_t* b,
+                           std::size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i v = _mm512_and_si512(_mm512_loadu_si512(a + i),
+                                       _mm512_loadu_si512(b + i));
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+  }
+  if (i < n) {
+    const __mmask8 m = tail_mask(n - i);
+    const __m512i v = _mm512_and_si512(_mm512_maskz_loadu_epi64(m, a + i),
+                                       _mm512_maskz_loadu_epi64(m, b + i));
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+  }
+  return static_cast<std::size_t>(_mm512_reduce_add_epi64(acc));
+}
+
+void v_and_assign(std::uint64_t* dst, const std::uint64_t* src,
+                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_si512(dst + i,
+                        _mm512_and_si512(_mm512_loadu_si512(dst + i),
+                                         _mm512_loadu_si512(src + i)));
+  }
+  if (i < n) {
+    const __mmask8 m = tail_mask(n - i);
+    const __m512i v = _mm512_and_si512(_mm512_maskz_loadu_epi64(m, dst + i),
+                                       _mm512_maskz_loadu_epi64(m, src + i));
+    _mm512_mask_storeu_epi64(dst + i, m, v);
+  }
+}
+
+void v_and_not_assign(std::uint64_t* dst, const std::uint64_t* src,
+                      std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // andnot computes (~first) & second.
+    _mm512_storeu_si512(dst + i,
+                        _mm512_andnot_si512(_mm512_loadu_si512(src + i),
+                                            _mm512_loadu_si512(dst + i)));
+  }
+  if (i < n) {
+    const __mmask8 m = tail_mask(n - i);
+    const __m512i v =
+        _mm512_andnot_si512(_mm512_maskz_loadu_epi64(m, src + i),
+                            _mm512_maskz_loadu_epi64(m, dst + i));
+    _mm512_mask_storeu_epi64(dst + i, m, v);
+  }
+}
+
+void v_and_into(std::uint64_t* dst, const std::uint64_t* a,
+                const std::uint64_t* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_si512(dst + i, _mm512_and_si512(_mm512_loadu_si512(a + i),
+                                                  _mm512_loadu_si512(b + i)));
+  }
+  if (i < n) {
+    const __mmask8 m = tail_mask(n - i);
+    const __m512i v = _mm512_and_si512(_mm512_maskz_loadu_epi64(m, a + i),
+                                       _mm512_maskz_loadu_epi64(m, b + i));
+    _mm512_mask_storeu_epi64(dst + i, m, v);
+  }
+}
+
+void v_not_into(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  const __m512i ones = _mm512_set1_epi64(-1);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_si512(dst + i,
+                        _mm512_xor_si512(_mm512_loadu_si512(src + i), ones));
+  }
+  if (i < n) {
+    const __mmask8 m = tail_mask(n - i);
+    const __m512i v =
+        _mm512_xor_si512(_mm512_maskz_loadu_epi64(m, src + i), ones);
+    _mm512_mask_storeu_epi64(dst + i, m, v);
+  }
+}
+
+void v_gather_and(std::uint64_t* dst, const std::uint64_t* bits,
+                  const std::uint32_t* idx, const std::uint64_t* table,
+                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i vi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + i));
+    const __m512i g = _mm512_i32gather_epi64(vi, table, 8);
+    _mm512_storeu_si512(dst + i,
+                        _mm512_and_si512(_mm512_loadu_si512(bits + i), g));
+  }
+  for (; i < n; ++i) dst[i] = bits[i] & table[idx[i]];
+}
+
+constexpr Table kAvx512{simd::Tier::kAvx512, v_popcount,  v_popcount_and,
+                        v_and_assign,        v_and_not_assign,
+                        v_and_into,          v_not_into,  v_gather_and};
+
+}  // namespace
+
+const Table* avx512_table() { return &kAvx512; }
+
+}  // namespace lazymc::wordops
+
+#else  // !LAZYMC_HAVE_AVX512
+
+namespace lazymc::wordops {
+const Table* avx512_table() { return nullptr; }
+}  // namespace lazymc::wordops
+
+#endif

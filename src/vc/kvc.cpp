@@ -42,18 +42,14 @@ class Searcher {
 
  private:
   /// Removes v from alive and decrements its alive neighbors' degrees.
+  /// The row & alive AND runs through the dispatched word kernels into a
+  /// pooled bitset; only the per-neighbor decrement stays bit-serial.
   void remove_vertex(DynamicBitset& alive, std::vector<VertexId>& deg,
                      std::size_t v) const {
     alive.reset(v);
-    const DynamicBitset& row = g_.adj[v];
-    for (std::size_t w = 0; w < row.num_words(); ++w) {
-      std::uint64_t both = row.word(w) & alive.word(w);
-      while (both) {
-        const unsigned bit = static_cast<unsigned>(__builtin_ctzll(both));
-        --deg[w * 64 + bit];
-        both &= both - 1;
-      }
-    }
+    DynamicBitset& both = scratch_.alive_row;
+    both.assign_and(g_.adj[v], alive);
+    both.for_each([&](std::size_t u) { --deg[u]; });
     deg[v] = 0;
   }
 

@@ -61,6 +61,7 @@ struct KvcScratch {
   std::vector<VertexId> root_deg;
   DynamicBitset matching_free;
   DynamicBitset deg2;
+  DynamicBitset alive_row;  // remove_vertex's row & alive intermediate
   std::vector<VertexId> cover;
 };
 

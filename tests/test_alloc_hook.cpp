@@ -47,10 +47,37 @@ void* operator new(std::size_t size) {
 
 void* operator new[](std::size_t size) { return ::operator new(size); }
 
+// The aligned overloads matter now: DynamicBitset words, SparseWordSet
+// bits, and the lazy-graph row slabs allocate through
+// simd::AlignedAllocator (64-byte alignment), which lands here rather
+// than in the plain overload — without these the steady-state invariant
+// would silently stop covering the hottest structures.
+void* operator new(std::size_t size, std::align_val_t align) {
+  ++g_thread_allocs;
+  void* p = nullptr;
+  const std::size_t a = static_cast<std::size_t>(align);
+  const std::size_t rounded = (size + a - 1) / a * a;
+  p = std::aligned_alloc(a, rounded ? rounded : a);
+  if (p) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 #endif  // LAZYMC_ALLOC_HOOK_ACTIVE
 

@@ -2,11 +2,13 @@
 // subproblems.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
 #include <vector>
 
 #include "support/bitset.hpp"
 #include "support/random.hpp"
+#include "support/simd.hpp"
 
 namespace lazymc {
 namespace {
@@ -148,6 +150,56 @@ TEST(DynamicBitset, EqualityComparesContent) {
   EXPECT_NE(a, b);
   b.set(10);
   EXPECT_EQ(a, b);
+}
+
+TEST(DynamicBitset, WordStorageIsCacheLineAligned) {
+  // Satellite of the SIMD engine: every row — including the trimmed
+  // DenseSubgraph copies inside SharedSubproblem tasks — starts on a
+  // 64-byte boundary, matching the lazy-graph slab arena.
+  for (std::size_t bits : {1u, 64u, 100u, 1000u}) {
+    DynamicBitset b(bits);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % 64, 0u) << bits;
+  }
+}
+
+// The bulk word ops route through the runtime-dispatched SIMD tier; every
+// supported tier must agree bit-for-bit with a naive model, across sizes
+// straddling the inline-path cutoff and the AVX2/AVX-512 vector widths.
+TEST(DynamicBitset, BulkOpsAgreeAcrossSimdTiers) {
+  for (std::size_t t = 0; t < simd::kNumTiers; ++t) {
+    const simd::Tier tier = static_cast<simd::Tier>(t);
+    if (!simd::tier_supported(tier)) continue;
+    ASSERT_TRUE(simd::force_tier(tier));
+    Rng rng(77 + t);
+    for (std::size_t bits : {1u, 63u, 64u, 65u, 255u, 256u, 257u, 511u,
+                             512u, 513u, 1000u}) {
+      DynamicBitset a(bits), b(bits);
+      std::set<std::size_t> in_a, in_b;
+      for (std::size_t i = 0; i < bits; ++i) {
+        if (rng.next_below(2)) { a.set(i); in_a.insert(i); }
+        if (rng.next_below(2)) { b.set(i); in_b.insert(i); }
+      }
+      EXPECT_EQ(a.count(), in_a.size()) << simd::tier_name(tier);
+      std::set<std::size_t> both;
+      for (std::size_t i : in_a) {
+        if (in_b.count(i)) both.insert(i);
+      }
+      EXPECT_EQ(a.count_and(b), both.size());
+
+      DynamicBitset and_dst;
+      and_dst.assign_and(a, b);
+      DynamicBitset and_with_dst = a;
+      and_with_dst.and_with(b);
+      DynamicBitset and_not_dst = a;
+      and_not_dst.and_not_with(b);
+      for (std::size_t i = 0; i < bits; ++i) {
+        EXPECT_EQ(and_dst.test(i), both.count(i) > 0);
+        EXPECT_EQ(and_with_dst.test(i), both.count(i) > 0);
+        EXPECT_EQ(and_not_dst.test(i), in_a.count(i) > 0 && !in_b.count(i));
+      }
+    }
+    simd::reset_tier();
+  }
 }
 
 }  // namespace

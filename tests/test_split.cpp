@@ -92,6 +92,63 @@ TEST(SubproblemSplit, NeighborSearchCarvesRootBranchesIntoTasks) {
   EXPECT_LT(incumbent.size(), 40u);
 }
 
+TEST(SubproblemSplit, WorkEstimateGatesCarving) {
+  // Split-work estimation (--split-min-work): a complete graph has
+  // density 1, so the estimate reduces to the candidate count and the
+  // thresholds are exact.  A threshold above the subproblem size rejects
+  // everything the count rule would have carved (counted in
+  // split_work_rejected); a low threshold carves as before.
+  CompleteFixture f(40);
+  {
+    Incumbent incumbent;
+    incumbent.offer(std::vector<VertexId>{0, 1});
+    LazyGraph lazy(f.g, f.order, f.core.coreness, &incumbent.size_atomic());
+    mc::SearchStats stats;
+    mc::SearchScratch scratch;
+    CollectingSink sink;
+    mc::NeighborSearchOptions opt = split_on_options(4);
+    opt.split_min_work = 4096;  // way past 40 x density 1
+    mc::neighbor_search(lazy, 0, incumbent, opt, stats, scratch, &sink);
+    EXPECT_TRUE(sink.tasks.empty());
+    EXPECT_EQ(stats.split_tasks.load(), 0u);
+    EXPECT_GT(stats.split_work_rejected.load(), 0u);
+    // Nothing was offloaded, so the probe proves the full clique inline.
+    EXPECT_EQ(incumbent.size(), 40u);
+  }
+  {
+    Incumbent incumbent;
+    incumbent.offer(std::vector<VertexId>{0, 1});
+    LazyGraph lazy(f.g, f.order, f.core.coreness, &incumbent.size_atomic());
+    mc::SearchStats stats;
+    mc::SearchScratch scratch;
+    CollectingSink sink;
+    mc::NeighborSearchOptions opt = split_on_options(4);
+    opt.split_min_work = 4;  // estimate ~39 x 1: accepts like the count rule
+    mc::neighbor_search(lazy, 0, incumbent, opt, stats, scratch, &sink);
+    EXPECT_GT(sink.tasks.size(), 5u);
+    EXPECT_EQ(stats.split_work_rejected.load(), 0u);
+  }
+}
+
+TEST(SubproblemSplit, WorkEstimateSweepAgreesOnOmega) {
+  // End-to-end: the estimate gate only changes *where* frames solve,
+  // never the answer.
+  Graph g = gen::plant_clique(gen::gnp(160, 0.25, 101), 24, 102);
+  mc::LazyMCConfig base;
+  base.split_mode = mc::SplitMode::kOff;
+  const auto expected = mc::lazy_mc(g, base).omega;
+  for (std::uint64_t min_work : {std::uint64_t{1}, std::uint64_t{16},
+                                 std::uint64_t{100000}}) {
+    mc::LazyMCConfig cfg;
+    cfg.split_mode = mc::SplitMode::kOn;
+    cfg.split_min_cands = 8;
+    cfg.split_min_work = min_work;
+    auto r = mc::lazy_mc(g, cfg);
+    EXPECT_EQ(r.omega, expected) << "min_work=" << min_work;
+    EXPECT_TRUE(is_clique(g, r.clique));
+  }
+}
+
 TEST(SubproblemSplit, StaleTasksAreRetiredWithoutBeingSolved) {
   CompleteFixture f(40);
   Incumbent incumbent;
