@@ -182,13 +182,13 @@ const SchedWorkload& sched_workload() {
   static const SchedWorkload w = [] {
     Graph g = suite::make_instance("sinaweibo", suite::Scale::kMedium).graph;
     auto core = kcore::coreness(g);
-    SchedWorkload w;
-    w.levels.resize(static_cast<std::size_t>(core.degeneracy) + 1);
+    SchedWorkload wl;
+    wl.levels.resize(static_cast<std::size_t>(core.degeneracy) + 1);
     for (VertexId v = 0; v < g.num_vertices(); ++v) {
-      w.levels[core.coreness[v]].push_back(v);
+      wl.levels[core.coreness[v]].push_back(v);
     }
-    w.num_vertices = g.num_vertices();
-    return w;
+    wl.num_vertices = g.num_vertices();
+    return wl;
   }();
   return w;
 }

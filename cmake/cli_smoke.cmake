@@ -31,6 +31,7 @@ endfunction()
 run_lazymc(json_out --graph gen:dimacs:tiny --solver lazymc --threads 2
            --time-limit 300 --json)
 expect("${json_out}" "\"omega\":[0-9]+" "generator JSON omega")
+expect("${json_out}" "\"verification\":\"ok\"" "generator JSON verification")
 expect("${json_out}" "\"phases\":" "generator JSON phase times")
 expect("${json_out}" "\"search\":" "generator JSON search stats")
 expect("${json_out}" "\"lazy_graph\":" "generator JSON lazy-graph stats")
@@ -43,10 +44,12 @@ file(WRITE "${clq}" "c smoke instance\np edge 5 6\ne 1 2\ne 1 3\ne 1 4\ne 2 3\ne
 run_lazymc(text_out --graph "${clq}" --solver lazymc)
 expect("${text_out}" "omega: +4" "DIMACS text omega")
 expect("${text_out}" "5 vertices" "DIMACS declared vertex count")
+expect("${text_out}" "verification: ok" "DIMACS text witness verification")
 
 # 3. Same file through a baseline solver, JSON output.
 run_lazymc(ref_out --graph "${clq}" --solver reference --json)
 expect("${ref_out}" "\"omega\":4" "DIMACS reference omega")
+expect("${ref_out}" "\"verification\":\"ok\"" "reference witness verification")
 
 # 4. Batch mode: a manifest plus a repeated --graph stream one JSON object
 # per instance (JSON implied, no --json needed).

@@ -1,0 +1,41 @@
+# Negative-compile check for the thread-safety annotations, run by ctest
+# (Clang only) as
+#   cmake -DCXX=<clang++> -DSRC=<tsa_misuse.cpp> -DINC=<src dir>
+#         -P tsa_negative_compile.cmake
+#
+# Pass 1 (control): the probe without its misuse block must compile, so a
+# failure in pass 2 can only come from the planted violations.
+# Pass 2: with -DLAZYMC_TSA_MISUSE the compiler must REJECT the file with
+# thread-safety diagnostics — proving the annotation macros expand to real
+# attributes Clang enforces, not inert tokens.
+
+if(NOT CXX OR NOT SRC OR NOT INC)
+  message(FATAL_ERROR "usage: cmake -DCXX=... -DSRC=... -DINC=... "
+                      "-P tsa_negative_compile.cmake")
+endif()
+
+set(flags -std=c++20 -fsyntax-only -Wthread-safety -Werror=thread-safety
+    "-I${INC}")
+
+execute_process(COMMAND "${CXX}" ${flags} "${SRC}"
+                RESULT_VARIABLE control_status
+                ERROR_VARIABLE control_err)
+if(NOT control_status EQUAL 0)
+  message(FATAL_ERROR "control compile of ${SRC} failed — the harness is "
+                      "broken, not the annotations:\n${control_err}")
+endif()
+
+execute_process(COMMAND "${CXX}" ${flags} -DLAZYMC_TSA_MISUSE "${SRC}"
+                RESULT_VARIABLE misuse_status
+                ERROR_VARIABLE misuse_err)
+if(misuse_status EQUAL 0)
+  message(FATAL_ERROR "misuse compile of ${SRC} succeeded — the "
+                      "thread-safety annotations are not rejecting "
+                      "guarded-member access without the lock")
+endif()
+if(NOT misuse_err MATCHES "-Wthread-safety")
+  message(FATAL_ERROR "misuse compile failed for the wrong reason "
+                      "(expected thread-safety diagnostics):\n${misuse_err}")
+endif()
+
+message(STATUS "tsa_negative_compile passed")

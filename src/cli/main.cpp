@@ -18,6 +18,7 @@
 #include "cli/graph_source.hpp"
 #include "cli/options.hpp"
 #include "cli/report.hpp"
+#include "graph/graph.hpp"
 #include "mc/lazymc.hpp"
 #include "mce/mce.hpp"
 #include "support/control.hpp"
@@ -137,10 +138,26 @@ void run_instance(const Options& options, const std::string& spec,
   solve_into(options, report, loaded.graph);
   report.solve_seconds = timer.elapsed();
 
+  // Independent re-check of the witness before anything is printed, in
+  // every build (not just checked ones): the clique must be pairwise
+  // adjacent in the *input* graph and match the omega we are about to
+  // report.  MCE reports a count, not a witness, so it stays "skipped".
+  if (!report.has_mce) {
+    const bool ok =
+        report.clique.size() == static_cast<std::size_t>(report.omega) &&
+        is_clique(loaded.graph, report.clique);
+    report.verification = ok ? "ok" : "failed";
+  }
+
   if (json) {
     render_json(report, std::cout);
   } else {
     render_text(report, std::cout);
+  }
+  if (report.verification == "failed") {
+    throw std::runtime_error(
+        "result verification failed: the reported clique is not a clique "
+        "of the input graph (see the printed report)");
   }
 }
 

@@ -21,6 +21,7 @@ void render_text(const RunReport& r, std::ostream& out) {
     out << "clique:  ";
     for (VertexId v : r.clique) out << ' ' << v;
     out << "\n";
+    out << "verification: " << r.verification << "\n";
   }
   if (r.timed_out) out << "TIMED OUT (result is a lower bound)\n";
   out << "time:     " << std::setprecision(3) << r.solve_seconds << "s\n";
@@ -85,6 +86,7 @@ void render_json(const RunReport& r, std::ostream& out) {
   w.field("solve_seconds", r.solve_seconds);
   w.field("omega", r.omega);
   w.field("timed_out", r.timed_out);
+  w.field("verification", r.verification);
   if (!r.has_mce) w.field("clique", r.clique);
   if (r.has_mce) w.field("maximal_clique_count", r.mce_count);
   if (r.has_lazymc) {

@@ -28,6 +28,11 @@ struct RunReport {
   VertexId omega = 0;
   bool timed_out = false;
 
+  /// Independent post-solve check of the witness clique against the input
+  /// graph (pairwise adjacency + size agreement with omega), run in every
+  /// build: "ok", "failed", or "skipped" (MCE reports no witness).
+  std::string verification = "skipped";
+
   /// Full instrumentation, present only for --solver lazymc.
   bool has_lazymc = false;
   mc::LazyMCResult lazymc;

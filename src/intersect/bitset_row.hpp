@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "support/check.hpp"
 #include "support/simd.hpp"
 
 namespace lazymc {
@@ -99,6 +100,35 @@ class SparseWordSet {
       bits_.push_back(cur_bits);
       prefix_.push_back(seen);
     }
+    verify();
+  }
+
+  /// Checked builds: machine-checks the SoA invariants the kernels'
+  /// miss-budget arithmetic rests on — parallel indices/bits/prefix run
+  /// lengths, strictly ascending word indices, no empty words, and
+  /// cumulative popcounts that agree with the stored bit words.  Compiles
+  /// to nothing in default builds.
+  void verify() const {
+#if LAZYMC_CHECKED_ENABLED
+    LAZYMC_ASSERT(indices_.size() == bits_.size() &&
+                      prefix_.size() == indices_.size() + 1,
+                  "SparseWordSet parallel-array lengths disagree");
+    std::size_t total = 0;
+    for (std::size_t k = 0; k < indices_.size(); ++k) {
+      LAZYMC_ASSERT(bits_[k] != 0, "SparseWordSet stores an empty word");
+      LAZYMC_ASSERT(k == 0 || indices_[k] > indices_[k - 1],
+                    "SparseWordSet word indices are not strictly ascending");
+      LAZYMC_ASSERT(prefix_[k] == total,
+                    "SparseWordSet prefix-popcount is inconsistent with "
+                    "its bit words");
+      total += static_cast<std::size_t>(std::popcount(bits_[k]));
+    }
+    LAZYMC_ASSERT(prefix_.back() == total,
+                  "SparseWordSet prefix-popcount tail is inconsistent");
+    LAZYMC_ASSERT(total == count_,
+                  "SparseWordSet element count disagrees with its bit "
+                  "words");
+#endif
   }
 
   /// Occupied zone-word indices, ascending.
@@ -118,6 +148,10 @@ class SparseWordSet {
   VertexId zone_begin() const { return zone_begin_; }
 
  private:
+  // Checked-mode death tests corrupt the private arrays to prove verify()
+  // trips; no production code uses this access.
+  friend struct SparseWordSetTestAccess;
+
   std::vector<std::uint32_t> indices_;
   simd::AlignedWords bits_;
   std::vector<std::uint32_t> prefix_;

@@ -179,7 +179,7 @@ CoreDecomposition coreness_parallel(const Graph& g) {
       std::atomic<std::size_t> next_count{0};
       std::vector<VertexId> candidates;
       // Decrement neighbor degrees in parallel; collect newly <= k.
-      std::mutex collect_mutex;
+      Mutex collect_mutex;
       parallel_for(0, frontier.size(), [&](std::size_t i) {
         VertexId v = frontier[i];
         std::vector<VertexId> local;
@@ -189,7 +189,7 @@ CoreDecomposition coreness_parallel(const Graph& g) {
           if (before == k + 1) local.push_back(u);  // crossed the threshold
         }
         if (!local.empty()) {
-          std::lock_guard<std::mutex> guard(collect_mutex);
+          MutexLock guard(collect_mutex);
           candidates.insert(candidates.end(), local.begin(), local.end());
         }
       }, 64);

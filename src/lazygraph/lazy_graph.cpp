@@ -1,6 +1,9 @@
 #include "lazygraph/lazy_graph.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <numeric>
 #include <stdexcept>
 
 #include "intersect/intersect.hpp"
@@ -128,14 +131,27 @@ void LazyGraph::build_bitset(VertexId v) {
   }
   std::vector<VertexId> nbrs = filtered_neighbors(v);
   std::uint64_t* row = carve_row();
+  // Rows are carved at a 64-byte stride from 64-byte-aligned slabs; the
+  // SIMD tiers' aligned loads rely on this.
+  LAZYMC_ASSERT(reinterpret_cast<std::uintptr_t>(row) % 64 == 0,
+                "bitset row is not 64-byte aligned");
   std::fill(row, row + row_words_, 0);
   std::uint32_t count = 0;
   for (VertexId u : nbrs) {
     if (u < zone_begin_) continue;
     const VertexId off = u - zone_begin_;
+    LAZYMC_ASSERT(off < zone_bits_,
+                  "bitset row bit outside the zone of interest");
     row[off >> 6] |= 1ULL << (off & 63);
     ++count;
   }
+  LAZYMC_ASSERT_EXPENSIVE(
+      std::accumulate(row, row + row_words_, std::size_t{0},
+                      [](std::size_t acc, std::uint64_t w) {
+                        return acc + static_cast<std::size_t>(
+                                         std::popcount(w));
+                      }) == count,
+      "bitset row popcount does not match the bits written");
   row_ptr_[v - zone_begin_] = row;
   row_count_[v - zone_begin_] = count;
   stat_bitset_built_.fetch_add(1, std::memory_order_relaxed);
@@ -183,9 +199,15 @@ void LazyGraph::enable_bitset_rows(std::size_t budget_bytes) {
   rows_per_slab = std::min<std::size_t>(
       rows_per_slab,
       std::max<std::size_t>(1, budget_words / row_stride_words_));
-  slab_words_ = rows_per_slab * row_stride_words_;
-  slab_cursor_ = nullptr;
-  slab_words_left_ = 0;
+  {
+    // enable_bitset_rows runs before concurrent use begins, but the
+    // arena fields belong to arena_lock_, so initialize them under it —
+    // keeps the lock discipline total (and -Wthread-safety clean).
+    SpinLockGuard guard(arena_lock_);
+    slab_words_ = rows_per_slab * row_stride_words_;
+    slab_cursor_ = nullptr;
+    slab_words_left_ = 0;
+  }
   bitset_budget_words_.store(static_cast<std::int64_t>(budget_words),
                              std::memory_order_relaxed);
   bitset_exhausted_.store(false, std::memory_order_relaxed);

@@ -44,7 +44,9 @@
 #include "hashset/hopscotch_set.hpp"
 #include "intersect/bitset_row.hpp"
 #include "kcore/order.hpp"
+#include "support/check.hpp"
 #include "support/spinlock.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace lazymc {
 
@@ -210,6 +212,9 @@ class LazyGraph {
   }
 
   BitsetRow row_view(VertexId v) const {
+    LAZYMC_ASSERT(v >= zone_begin_ && v - zone_begin_ < zone_bits_,
+                  "bitset row requested for a vertex outside the zone of "
+                  "interest");
     const VertexId i = v - zone_begin_;
     return BitsetRow{row_ptr_[i], zone_begin_, zone_bits_, row_count_[i]};
   }
@@ -249,11 +254,12 @@ class LazyGraph {
   // on a cache-line boundary and aligned SIMD loads stay legal.  Rows
   // live as long as the graph; nothing is freed individually.
   std::size_t row_stride_words_ = 0;
-  std::vector<simd::AlignedWords> row_slabs_;
-  std::uint64_t* slab_cursor_ = nullptr;
-  std::size_t slab_words_left_ = 0;
-  std::size_t slab_words_ = 0;  // slab size, a multiple of the row stride
   SpinLock arena_lock_;
+  std::vector<simd::AlignedWords> row_slabs_ LAZYMC_GUARDED_BY(arena_lock_);
+  std::uint64_t* slab_cursor_ LAZYMC_GUARDED_BY(arena_lock_) = nullptr;
+  std::size_t slab_words_left_ LAZYMC_GUARDED_BY(arena_lock_) = 0;
+  // Slab size, a multiple of the row stride.
+  std::size_t slab_words_ LAZYMC_GUARDED_BY(arena_lock_) = 0;
   std::vector<std::uint64_t*> row_ptr_;  // null until the row is built
   std::vector<std::uint32_t> row_count_;
 

@@ -4,14 +4,23 @@
 // load (safe because the incumbent only grows — a stale value merely
 // prunes less), while updates take a spinlock to swap in the new vertex
 // set atomically with the size.
+//
+// Checked-mode invariants (-DLAZYMC_CHECKED=ON): the size is asserted to
+// be strictly monotone across installs, and when a verifier is set (the
+// solver installs an is-a-clique check against the input graph) every
+// accepted offer is verified to be an actual clique before it is
+// published.
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "support/check.hpp"
 #include "support/spinlock.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace lazymc {
 
@@ -30,9 +39,19 @@ class Incumbent {
   /// the current one.  Returns true on improvement.  Thread-safe.
   bool offer(std::span<const VertexId> clique) {
     VertexId sz = static_cast<VertexId>(clique.size());
-    if (sz <= size()) return false;  // fast reject without the lock
+    [[maybe_unused]] const VertexId seen = size();
+    if (sz <= seen) return false;  // fast reject without the lock
     SpinLockGuard guard(lock_);
-    if (sz <= size_.load(std::memory_order_relaxed)) return false;
+    const VertexId current = size_.load(std::memory_order_relaxed);
+    // Monotonicity: the size observed before taking the lock can only
+    // have grown by the time the lock is held.
+    LAZYMC_ASSERT(current >= seen,
+                  "incumbent size decreased between the fast-path read "
+                  "and the locked read");
+    if (sz <= current) return false;
+    LAZYMC_ASSERT_EXPENSIVE(!verifier_ || verifier_(clique),
+                            "published incumbent is not a clique of the "
+                            "input graph");
     clique_.assign(clique.begin(), clique.end());
     size_.store(sz, std::memory_order_release);
     return true;
@@ -41,13 +60,28 @@ class Incumbent {
   /// Copy of the incumbent vertex set.
   std::vector<VertexId> snapshot() const {
     SpinLockGuard guard(lock_);
+    // Coherence: the published vector always matches the advertised size.
+    LAZYMC_ASSERT(clique_.size() == size_.load(std::memory_order_relaxed),
+                  "incumbent vertex set does not match its advertised size");
     return clique_;
   }
+
+#if LAZYMC_CHECKED_ENABLED
+  /// Checked builds only: called under the lock for every improving
+  /// offer; returning false trips the is-a-clique assertion.  Set before
+  /// concurrent use begins.
+  void set_verifier(std::function<bool(std::span<const VertexId>)> verifier) {
+    verifier_ = std::move(verifier);
+  }
+#endif
 
  private:
   std::atomic<VertexId> size_{0};
   mutable SpinLock lock_;
-  std::vector<VertexId> clique_;
+  std::vector<VertexId> clique_ LAZYMC_GUARDED_BY(lock_);
+#if LAZYMC_CHECKED_ENABLED
+  std::function<bool(std::span<const VertexId>)> verifier_;
+#endif
 };
 
 }  // namespace lazymc

@@ -59,6 +59,13 @@ LazyMCResult lazy_mc(const Graph& g, const LazyMCConfig& config) {
   IntersectPolicy policy{config.early_exit_intersections, config.second_exit};
   policy.counters = &stats.kernels;
   Incumbent incumbent;
+#if LAZYMC_CHECKED_ENABLED
+  // End-to-end invariant: every incumbent any thread publishes — from the
+  // heuristics, the dense B&B, the VC route, or a split subproblem task —
+  // must be an actual clique of the input graph.
+  incumbent.set_verifier(
+      [&g](std::span<const VertexId> clique) { return is_clique(g, clique); });
+#endif
   WallTimer timer;
 
   // ---- 1. degree-based heuristic search (Algorithm 1 line 3) -----------

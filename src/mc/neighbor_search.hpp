@@ -93,9 +93,15 @@ struct SearchStats {
   std::atomic<std::uint64_t> mc_nodes{0};
   std::atomic<std::uint64_t> vc_nodes{0};
 
-  double filter_seconds() const { return filter_ns.load() * 1e-9; }
-  double mc_seconds() const { return mc_ns.load() * 1e-9; }
-  double vc_seconds() const { return vc_ns.load() * 1e-9; }
+  double filter_seconds() const {
+    return static_cast<double>(filter_ns.load()) * 1e-9;
+  }
+  double mc_seconds() const {
+    return static_cast<double>(mc_ns.load()) * 1e-9;
+  }
+  double vc_seconds() const {
+    return static_cast<double>(vc_ns.load()) * 1e-9;
+  }
   /// Total systematic-search work in seconds (Fig. 7 "work" ratio).
   double work_seconds() const {
     return filter_seconds() + mc_seconds() + vc_seconds();

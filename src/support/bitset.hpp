@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "support/check.hpp"
 #include "support/simd.hpp"
 
 namespace lazymc {
@@ -36,9 +37,16 @@ class DynamicBitset {
     words_.assign((bits + 63) / 64, 0);
   }
 
-  void set(std::size_t i) { words_[i >> 6] |= 1ULL << (i & 63); }
-  void reset(std::size_t i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+  void set(std::size_t i) {
+    LAZYMC_ASSERT(i < bits_, "DynamicBitset::set out of bounds");
+    words_[i >> 6] |= 1ULL << (i & 63);
+  }
+  void reset(std::size_t i) {
+    LAZYMC_ASSERT(i < bits_, "DynamicBitset::reset out of bounds");
+    words_[i >> 6] &= ~(1ULL << (i & 63));
+  }
   bool test(std::size_t i) const {
+    LAZYMC_ASSERT(i < bits_, "DynamicBitset::test out of bounds");
     return (words_[i >> 6] >> (i & 63)) & 1ULL;
   }
 

@@ -1,0 +1,53 @@
+// Machine-checked invariants for the checked build mode.
+//
+// Configure with -DLAZYMC_CHECKED=ON to compile every LAZYMC_ASSERT /
+// LAZYMC_ASSERT_EXPENSIVE in the runtime to a real check that prints the
+// violated condition and aborts.  In the default build both macros
+// compile to nothing — the condition expression is not evaluated — so
+// release benchmarks are unaffected.
+//
+// Two tiers:
+//  * LAZYMC_ASSERT            — O(1)-ish checks cheap enough to sit on
+//                               warm paths (lock balance, bounds,
+//                               monotonicity).
+//  * LAZYMC_ASSERT_EXPENSIVE  — whole-structure verification (prefix-
+//                               popcount consistency, is-a-clique); may
+//                               change the complexity of the enclosing
+//                               operation.
+//
+// Failures abort (after an unbuffered stderr report) rather than throw:
+// an invariant violation means memory is already in a state the
+// exception path cannot be trusted with, and abort() is what gtest
+// death tests intercept.
+#pragma once
+
+#if defined(LAZYMC_CHECKED)
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lazymc::detail {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* what,
+                                      const char* file, int line) {
+  std::fprintf(stderr, "lazymc checked-mode invariant violated: %s\n  %s\n  at %s:%d\n",
+               what, cond, file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace lazymc::detail
+
+#define LAZYMC_CHECKED_ENABLED 1
+#define LAZYMC_ASSERT(cond, what)                                       \
+  ((cond) ? static_cast<void>(0)                                        \
+          : ::lazymc::detail::check_failed(#cond, what, __FILE__, __LINE__))
+#define LAZYMC_ASSERT_EXPENSIVE(cond, what) LAZYMC_ASSERT(cond, what)
+
+#else
+
+#define LAZYMC_CHECKED_ENABLED 0
+#define LAZYMC_ASSERT(cond, what) static_cast<void>(0)
+#define LAZYMC_ASSERT_EXPENSIVE(cond, what) static_cast<void>(0)
+
+#endif

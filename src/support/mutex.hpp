@@ -1,0 +1,72 @@
+// Annotated mutex wrapper for Clang Thread Safety Analysis.
+//
+// libstdc++'s std::mutex / std::unique_lock carry no thread-safety
+// attributes, so locking through them is invisible to -Wthread-safety.
+// This header wraps them with the LAZYMC_CAPABILITY annotations; all
+// runtime code that needs a blocking mutex (the ThreadPool, the global
+// pool registry, parallel collectors) locks through these types so the
+// GUARDED_BY discipline is machine-checked.
+//
+// MutexLock exposes the underlying std::unique_lock for condition
+// variable waits; condition predicates are written as explicit
+// while-loops in the annotated caller (not as wait(lock, pred) lambdas)
+// so the analysis sees the guarded reads in a scope that holds the
+// capability.
+#pragma once
+
+#include <mutex>
+
+#include "support/thread_annotations.hpp"
+
+namespace lazymc {
+
+class LAZYMC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() LAZYMC_ACQUIRE() { m_.lock(); }
+  bool try_lock() LAZYMC_TRY_ACQUIRE(true) { return m_.try_lock(); }
+  void unlock() LAZYMC_RELEASE() { m_.unlock(); }
+
+  /// The wrapped mutex, for std::condition_variable::wait.  Callers go
+  /// through MutexLock::native(); waiting re-locks before returning, so
+  /// the capability model (lock held for the MutexLock's whole scope)
+  /// stays truthful at every point the caller can observe.
+  std::mutex& native() { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+/// RAII lock for Mutex (std::unique_lock underneath, so condition
+/// variables can wait on it).
+class LAZYMC_SCOPED_CAPABILITY MutexLock {
+ public:
+  // Acquire through the annotated Mutex::lock(), then adopt into the
+  // unique_lock: the analysis verifies ACQUIRE/RELEASE functions really
+  // do acquire/release in their bodies, and only the wrapper's calls are
+  // visible to it.
+  explicit MutexLock(Mutex& mutex) LAZYMC_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+    lock_ = std::unique_lock<std::mutex>(mutex_.native(), std::adopt_lock);
+  }
+  ~MutexLock() LAZYMC_RELEASE() {
+    // Hand ownership back so the unlock runs through the annotated path
+    // (and exactly once).
+    static_cast<void>(lock_.release());
+    mutex_.unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// For condition_variable::wait(native()).
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  Mutex& mutex_;
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace lazymc

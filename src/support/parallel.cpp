@@ -26,7 +26,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
   cv_start_.notify_all();
@@ -43,18 +43,22 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
   for (;;) {
     detail::JobBase* job = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_start_.wait(lock, [&] {
-        return shutting_down_ ||
-               (current_job_ != nullptr && job_epoch_ != seen_epoch);
-      });
+      // Explicit wait loop (not wait(lock, pred)): the predicate reads
+      // epoch state guarded by mutex_, and spelling the loop out keeps
+      // those reads in a scope the thread-safety analysis can see holds
+      // the capability.
+      MutexLock lock(mutex_);
+      while (!shutting_down_ &&
+             (current_job_ == nullptr || job_epoch_ == seen_epoch)) {
+        cv_start_.wait(lock.native());
+      }
       if (shutting_down_) return;
       seen_epoch = job_epoch_;
       job = current_job_;
     }
     job->run(*job, participant);
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       ++workers_done_;
     }
     cv_done_.notify_one();
@@ -63,7 +67,7 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
 
 void ThreadPool::run_job(detail::JobBase& job) {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     current_job_ = &job;
     ++job_epoch_;
     workers_done_ = 0;
@@ -74,26 +78,34 @@ void ThreadPool::run_job(detail::JobBase& job) {
   job.run(job, 0);
 
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_done_.wait(lock, [&] { return workers_done_ == threads_.size(); });
+    MutexLock lock(mutex_);
+    while (workers_done_ != threads_.size()) cv_done_.wait(lock.native());
     current_job_ = nullptr;
   }
-  if (job.error) std::rethrow_exception(job.error);
+  // Read under the error lock (take_error): the join above orders every
+  // worker's capture before this point, but the protocol is simplest to
+  // verify when the field is only ever touched with its lock held.
+  if (std::exception_ptr error = job.take_error()) {
+    std::rethrow_exception(error);
+  }
 }
 
 namespace {
-std::unique_ptr<ThreadPool> g_pool;
-std::mutex g_pool_mutex;
+Mutex g_pool_mutex;
+// The pointer (not the pool) is guarded: callers hold references to the
+// pool beyond the registry lock by the documented contract that
+// set_num_threads is not called concurrently with library operations.
+std::unique_ptr<ThreadPool> g_pool LAZYMC_GUARDED_BY(g_pool_mutex);
 }  // namespace
 
 ThreadPool& thread_pool() {
-  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  MutexLock lock(g_pool_mutex);
   if (!g_pool) g_pool = std::make_unique<ThreadPool>();
   return *g_pool;
 }
 
 void set_num_threads(std::size_t n) {
-  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  MutexLock lock(g_pool_mutex);
   g_pool = std::make_unique<ThreadPool>(n == 0 ? default_num_threads() : n);
 }
 

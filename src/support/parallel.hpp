@@ -37,12 +37,14 @@
 #include <cstddef>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
+#include "support/check.hpp"
+#include "support/mutex.hpp"
 #include "support/spinlock.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace lazymc {
 
@@ -114,12 +116,20 @@ class ShardedRange {
 /// call per participant and the per-iteration body call inlines.
 struct JobBase {
   void (*run)(JobBase&, std::size_t participant) = nullptr;
-  std::exception_ptr error;
   SpinLock error_lock;
+  std::exception_ptr error LAZYMC_GUARDED_BY(error_lock);
 
   void capture_error() noexcept {
     SpinLockGuard guard(error_lock);
     if (!error) error = std::current_exception();
+  }
+
+  /// The first captured error (null when none).  Read under the lock so
+  /// the error protocol is fully lock-disciplined; the caller uses this
+  /// after the join, but taking the lock costs nothing there.
+  std::exception_ptr take_error() {
+    SpinLockGuard guard(error_lock);
+    return error;
   }
 };
 
@@ -231,13 +241,13 @@ class ThreadPool {
   void run_job(detail::JobBase& job);
 
   std::vector<std::thread> threads_;
-  std::mutex mutex_;
+  Mutex mutex_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
-  detail::JobBase* current_job_ = nullptr;
-  std::uint64_t job_epoch_ = 0;
-  std::size_t workers_done_ = 0;
-  bool shutting_down_ = false;
+  detail::JobBase* current_job_ LAZYMC_GUARDED_BY(mutex_) = nullptr;
+  std::uint64_t job_epoch_ LAZYMC_GUARDED_BY(mutex_) = 0;
+  std::size_t workers_done_ LAZYMC_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ LAZYMC_GUARDED_BY(mutex_) = false;
 };
 
 /// Returns the process-wide pool.  The first call creates it with
@@ -371,22 +381,9 @@ class WorkQueue {
     Shard& mine = shards_[thief];
     for (std::size_t off = 1; off < num_shards_; ++off) {
       const std::size_t vi = (thief + off) % num_shards_;
-      Shard& victim = shards_[vi];
-      Shard& lock_first = vi < thief ? victim : mine;
-      Shard& lock_second = vi < thief ? mine : victim;
-      SpinLockGuard g1(lock_first.lock);
-      SpinLockGuard g2(lock_second.lock);
-      const std::size_t avail = victim.items.size() - victim.head;
-      if (avail == 0) continue;
-      const std::size_t take = (avail + 1) / 2;
-      auto src = victim.items.end() - static_cast<std::ptrdiff_t>(take);
-      out = std::move(*src);
-      mine.items.insert(mine.items.end(), std::move_iterator(src + 1),
-                        std::move_iterator(victim.items.end()));
-      victim.items.resize(victim.items.size() - take);
-      compact(victim);
-      size_.fetch_sub(1, std::memory_order_relaxed);
-      return true;
+      if (steal_from(mine, shards_[vi], /*victim_first=*/vi < thief, out)) {
+        return true;
+      }
     }
     return false;
   }
@@ -405,13 +402,37 @@ class WorkQueue {
  private:
   struct alignas(64) Shard {
     SpinLock lock;
-    std::vector<T> items;   // FIFO from `head`; back half is steal territory
-    std::size_t head = 0;   // first live item
+    // FIFO from `head`; back half is steal territory.
+    std::vector<T> items LAZYMC_GUARDED_BY(lock);
+    std::size_t head LAZYMC_GUARDED_BY(lock) = 0;  // first live item
   };
 
   Shard& shard_at(std::size_t shard) { return shards_[shard % num_shards_]; }
 
-  static bool take_front(Shard& s, T& out) {
+  /// Moves the back half of `victim` into `mine`, returning the loot's
+  /// highest-priority item through `out`.  Both locks are taken in global
+  /// shard-index order (`victim_first` says which comes first), which the
+  /// thread-safety analysis cannot express — the conditional acquisition
+  /// order aliases the two capabilities — so this one function opts out;
+  /// every access below still happens with both shard locks held.
+  bool steal_from(Shard& mine, Shard& victim, bool victim_first,
+                  T& out) LAZYMC_NO_THREAD_SAFETY_ANALYSIS {
+    SpinLockGuard g1(victim_first ? victim.lock : mine.lock);
+    SpinLockGuard g2(victim_first ? mine.lock : victim.lock);
+    const std::size_t avail = victim.items.size() - victim.head;
+    if (avail == 0) return false;
+    const std::size_t take = (avail + 1) / 2;
+    auto src = victim.items.end() - static_cast<std::ptrdiff_t>(take);
+    out = std::move(*src);
+    mine.items.insert(mine.items.end(), std::move_iterator(src + 1),
+                      std::move_iterator(victim.items.end()));
+    victim.items.resize(victim.items.size() - take);
+    compact(victim);
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  static bool take_front(Shard& s, T& out) LAZYMC_REQUIRES(s.lock) {
     if (s.head == s.items.size()) return false;
     out = std::move(s.items[s.head++]);
     compact(s);
@@ -419,7 +440,7 @@ class WorkQueue {
   }
 
   /// Reclaims the consumed prefix once it dominates the buffer.
-  static void compact(Shard& s) {
+  static void compact(Shard& s) LAZYMC_REQUIRES(s.lock) {
     if (s.head == s.items.size()) {
       s.items.clear();
       s.head = 0;
@@ -452,7 +473,13 @@ class TaskGroup {
     pending_.fetch_add(static_cast<std::ptrdiff_t>(n),
                        std::memory_order_relaxed);
   }
-  void complete() { pending_.fetch_sub(1, std::memory_order_release); }
+  void complete() {
+    [[maybe_unused]] const std::ptrdiff_t prev =
+        pending_.fetch_sub(1, std::memory_order_release);
+    LAZYMC_ASSERT(prev > 0,
+                  "TaskGroup::complete() without a matching add() — "
+                  "drain accounting out of balance");
+  }
   bool done() const {
     return pending_.load(std::memory_order_acquire) == 0;
   }
@@ -507,6 +534,13 @@ void drain_queue(ThreadPool& pool, WorkQueue<T>& queue, TaskGroup& group,
       }
     }
   });
+  // Balance invariant at drain exit: when the group reports done (every
+  // add() matched by a complete()), nothing may be left in the queue —
+  // an uncounted push would strand work.  A stop()-cancelled drain exits
+  // with the group legitimately non-done, so the check is conditional.
+  LAZYMC_ASSERT(!group.done() || queue.empty(),
+                "drain_queue exit: TaskGroup is done but items remain "
+                "queued (an item was pushed without TaskGroup::add)");
 }
 
 }  // namespace lazymc

@@ -58,7 +58,9 @@ class Rng {
   }
 
   /// Uniform double in [0, 1).
-  double next_double() { return ((*this)() >> 11) * 0x1.0p-53; }
+  double next_double() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
 
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {

@@ -2,15 +2,22 @@
 // lazy graph (Algorithm 2, line 5): critical sections are short
 // (construct one neighborhood) and contention is rare, so a 1-byte
 // spinlock per vertex beats std::mutex on footprint.
+//
+// SpinLock is an annotated capability ("spinlock"), so Clang's thread
+// safety analysis checks acquire/release balance and GUARDED_BY
+// discipline for every structure it protects (see
+// support/thread_annotations.hpp).
 #pragma once
 
 #include <atomic>
 
+#include "support/thread_annotations.hpp"
+
 namespace lazymc {
 
-class SpinLock {
+class LAZYMC_CAPABILITY("spinlock") SpinLock {
  public:
-  void lock() {
+  void lock() LAZYMC_ACQUIRE() {
     for (;;) {
       if (!flag_.exchange(true, std::memory_order_acquire)) return;
       while (flag_.load(std::memory_order_relaxed)) {
@@ -19,19 +26,25 @@ class SpinLock {
     }
   }
 
-  bool try_lock() { return !flag_.exchange(true, std::memory_order_acquire); }
+  bool try_lock() LAZYMC_TRY_ACQUIRE(true) {
+    return !flag_.exchange(true, std::memory_order_acquire);
+  }
 
-  void unlock() { flag_.store(false, std::memory_order_release); }
+  void unlock() LAZYMC_RELEASE() {
+    flag_.store(false, std::memory_order_release);
+  }
 
  private:
   std::atomic<bool> flag_{false};
 };
 
 /// RAII guard for SpinLock.
-class SpinLockGuard {
+class LAZYMC_SCOPED_CAPABILITY SpinLockGuard {
  public:
-  explicit SpinLockGuard(SpinLock& lock) : lock_(lock) { lock_.lock(); }
-  ~SpinLockGuard() { lock_.unlock(); }
+  explicit SpinLockGuard(SpinLock& lock) LAZYMC_ACQUIRE(lock) : lock_(lock) {
+    lock_.lock();
+  }
+  ~SpinLockGuard() LAZYMC_RELEASE() { lock_.unlock(); }
   SpinLockGuard(const SpinLockGuard&) = delete;
   SpinLockGuard& operator=(const SpinLockGuard&) = delete;
 

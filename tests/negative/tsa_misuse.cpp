@@ -1,0 +1,60 @@
+// Negative-compile probe for the thread-safety annotation layer
+// (support/thread_annotations.hpp).  Compiled twice by the
+// tsa_negative_compile ctest under Clang with -Werror=thread-safety:
+//
+//   * without LAZYMC_TSA_MISUSE — the locked accessors only; must compile.
+//   * with LAZYMC_TSA_MISUSE — three canonical violations (unlocked read,
+//     unlocked write, self-deadlock); the build MUST fail, proving the
+//     annotations actually reject misuse rather than being inert macros.
+//
+// GCC expands every annotation to nothing, so this file is never part of
+// the normal build — only the Clang-gated ctest touches it.
+#include "support/mutex.hpp"
+#include "support/spinlock.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace lazymc_tsa_probe {
+
+class Guarded {
+ public:
+  void deposit(int amount) {
+    lazymc::MutexLock guard(mutex_);
+    balance_ += amount;
+  }
+  int cached() {
+    lazymc::SpinLockGuard guard(spin_);
+    return cached_;
+  }
+#ifdef LAZYMC_TSA_MISUSE
+  // Violation 1: reading a GUARDED_BY member with no capability held.
+  int peek_unlocked() { return balance_; }
+  // Violation 2: writing a spinlock-guarded member with no capability.
+  void poke_unlocked(int v) { cached_ = v; }
+  // Violation 3: re-acquiring a capability already held (self-deadlock).
+  void double_lock() {
+    lazymc::MutexLock outer(mutex_);
+    lazymc::MutexLock inner(mutex_);
+    balance_ += 1;
+  }
+#endif
+
+ private:
+  lazymc::Mutex mutex_;
+  lazymc::SpinLock spin_;
+  int balance_ LAZYMC_GUARDED_BY(mutex_) = 0;
+  int cached_ LAZYMC_GUARDED_BY(spin_) = 0;
+};
+
+int touch() {
+  Guarded g;
+  g.deposit(1);
+#ifdef LAZYMC_TSA_MISUSE
+  g.poke_unlocked(2);
+  g.double_lock();
+  return g.peek_unlocked();
+#else
+  return g.cached();
+#endif
+}
+
+}  // namespace lazymc_tsa_probe

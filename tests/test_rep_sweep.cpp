@@ -50,8 +50,8 @@ TEST_P(RepSweepTest, OmegaIdenticalWithBitsetRowsOnAndOff) {
 
 INSTANTIATE_TEST_SUITE_P(AllInstances, RepSweepTest,
                          testing::ValuesIn(suite::instance_names()),
-                         [](const testing::TestParamInfo<std::string>& info) {
-                           std::string name = info.param;
+                         [](const testing::TestParamInfo<std::string>& param_info) {
+                           std::string name = param_info.param;
                            for (char& c : name) {
                              if (!std::isalnum(static_cast<unsigned char>(c))) {
                                c = '_';

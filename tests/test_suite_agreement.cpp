@@ -51,8 +51,8 @@ TEST_P(SuiteAgreementTest, AllSolversAgreeOnOmega) {
 
 INSTANTIATE_TEST_SUITE_P(AllInstances, SuiteAgreementTest,
                          testing::ValuesIn(suite::instance_names()),
-                         [](const testing::TestParamInfo<std::string>& info) {
-                           std::string name = info.param;
+                         [](const testing::TestParamInfo<std::string>& param_info) {
+                           std::string name = param_info.param;
                            for (char& c : name) {
                              if (!std::isalnum(static_cast<unsigned char>(c))) {
                                c = '_';
@@ -79,9 +79,8 @@ INSTANTIATE_TEST_SUITE_P(Subset, DomegaAgreementTest,
                          testing::Values("USAroad", "dblp", "yahoo", "orkut",
                                          "WormNet", "hudong", "talk",
                                          "higgs"),
-                         [](const testing::TestParamInfo<std::string>& info) {
-                           return info.param;
-                         });
+                         [](const testing::TestParamInfo<std::string>&
+                                param_info) { return param_info.param; });
 
 }  // namespace
 }  // namespace lazymc

@@ -70,6 +70,26 @@ TEST(ThreadPool, PropagatesExceptions) {
       std::runtime_error);
 }
 
+TEST(ThreadPool, PropagatesExceptionsUnderContention) {
+  // Regression: run_job used to read the job's stored exception without
+  // taking its error lock.  Every worker throwing on every chunk makes
+  // the store side maximally contended; each round must still rethrow
+  // exactly one of the stored exceptions and leave the pool reusable.
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    EXPECT_THROW(pool.parallel_for(0, 64,
+                                   [&](std::size_t) {
+                                     throw std::runtime_error("every chunk");
+                                   },
+                                   /*grain=*/1),
+                 std::runtime_error);
+  }
+  // The pool must come out of the throwing rounds fully functional.
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 64, [&](std::size_t) { total++; });
+  EXPECT_EQ(total.load(), 64);
+}
+
 TEST(ThreadPool, ParallelInvokeAllTouchesEveryParticipant) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(pool.num_threads());

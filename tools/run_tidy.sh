@@ -1,0 +1,43 @@
+#!/usr/bin/env sh
+# Runs clang-tidy over every first-party translation unit using the
+# compile_commands.json a CMake build exports (CMAKE_EXPORT_COMPILE_COMMANDS
+# is always on).  Usage:
+#
+#   tools/run_tidy.sh [build-dir]       # default build dir: ./build
+#
+# The check profile lives in .clang-tidy at the repo root.  Exits nonzero
+# on any diagnostic from the WarningsAsErrors set, so CI can gate on it.
+# Requires clang-tidy (and run-clang-tidy when parallel); the container
+# toolchain may only have GCC — the CI static-analysis job installs clang.
+set -eu
+
+build_dir="${1:-build}"
+repo_root="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
+cd "$repo_root"
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "error: $build_dir/compile_commands.json not found;" \
+       "configure with cmake first" >&2
+  exit 2
+fi
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "error: clang-tidy not installed (CI installs it; locally use" \
+       "a clang toolchain image)" >&2
+  exit 2
+fi
+
+# First-party TUs only: layer sources and the CLI.  Tests/benches include
+# third-party headers (gtest, benchmark) that the profile would flag.
+files=$(find src -name '*.cpp' | sort)
+
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  # shellcheck disable=SC2086
+  run-clang-tidy -p "$build_dir" -quiet $files
+else
+  status=0
+  for f in $files; do
+    clang-tidy -p "$build_dir" --quiet "$f" || status=1
+  done
+  exit $status
+fi
