@@ -65,17 +65,21 @@ if(NOT batch_count EQUAL 3)
 endif()
 expect("${batch_out}" "smoke_k4" "batch mode ran the manifest's file spec")
 
-# 5. A failing instance emits an error object and a nonzero exit, without
-# aborting the rest of the batch.
+# 5. A failing instance emits a machine-readable error object and the
+# batch-with-failures exit code (5), without aborting the rest of the
+# batch.
 execute_process(COMMAND "${LAZYMC_BIN}" --graph gen:webcc:tiny
                         --graph /nonexistent.clq
                 OUTPUT_VARIABLE fail_out ERROR_VARIABLE fail_err
                 RESULT_VARIABLE fail_status)
-if(fail_status EQUAL 0)
-  message(FATAL_ERROR "batch with a bad instance should exit nonzero")
+if(NOT fail_status EQUAL 5)
+  message(FATAL_ERROR "batch with a bad instance should exit 5, got "
+                      "${fail_status}:\n${fail_out}\n${fail_err}")
 endif()
 expect("${fail_out}" "\"omega\":" "good instance still solved in failing batch")
 expect("${fail_out}" "\"error\":" "bad instance reported as an error object")
+expect("${fail_out}" "\"error_kind\":\"input\"" "error object carries its kind")
+expect("${fail_out}" "\"attempts\":1" "error object counts attempts")
 
 # 6. Subproblem splitting forced on must not change omega.
 run_lazymc(split_out --graph "${clq}" --split on --split-min-cands 2 --json)
@@ -90,5 +94,79 @@ expect("${work_out}" "\"omega\":4" "split-min-work omega")
 run_lazymc(kern_out --graph "${clq}" --kernels scalar --json)
 expect("${kern_out}" "\"omega\":4" "kernels-scalar omega")
 expect("${kern_out}" "\"tier\":\"scalar\"" "forced tier surfaced in report")
+
+# --- exit-code contract (documented in --help and the README) -----------
+
+function(expect_exit expected what)
+  execute_process(COMMAND "${LAZYMC_BIN}" ${ARGN}
+                  OUTPUT_VARIABLE output ERROR_VARIABLE error
+                  RESULT_VARIABLE status)
+  if(NOT status EQUAL ${expected})
+    message(FATAL_ERROR "${what}: expected exit ${expected}, got ${status}:"
+                        "\n${output}\n${error}")
+  endif()
+  set(last_out "${output}" PARENT_SCOPE)
+endfunction()
+
+# 9. 0 = solved; 2 = timed out (best-so-far is still verified); 3 = input
+# error (unreadable graph, bad flag).
+expect_exit(0 "solved exit code" --graph "${clq}")
+expect_exit(2 "timed-out exit code"
+            --graph gen:human-2:small --time-limit 0.001 --json)
+expect("${last_out}" "\"timed_out\":true" "timeout flagged in report")
+expect("${last_out}" "\"verification\":\"ok\"" "timed-out witness verified")
+expect_exit(3 "missing-file exit code" --graph /nonexistent.clq)
+expect_exit(3 "bad-flag exit code" --graph "${clq}" --no-such-flag)
+expect_exit(3 "bad-manifest exit code" --manifest /nonexistent.manifest)
+
+# 10. Crash-safe batch: a journaled sweep records completed instances; a
+# --resume re-run skips them (solving only what is missing) and exits 0.
+set(journal "${WORK_DIR}/smoke_journal.jsonl")
+file(REMOVE "${journal}")
+run_lazymc(j1_out --graph gen:webcc:tiny --graph gen:talk:tiny
+           --journal "${journal}")
+file(READ "${journal}" journal_text)
+expect("${journal_text}" "\"spec\":\"gen:webcc:tiny\"" "first spec journaled")
+expect("${journal_text}" "\"spec\":\"gen:talk:tiny\"" "second spec journaled")
+expect("${journal_text}" "\"status\":\"ok\"" "journal records completion")
+
+# Simulate a sweep killed halfway: keep only the first journal line, then
+# resume a three-instance sweep.  Only the two missing instances may run.
+string(REGEX REPLACE "\n.*" "\n" half_journal "${journal_text}")
+file(WRITE "${journal}" "${half_journal}")
+run_lazymc(resume_out --graph gen:webcc:tiny --graph gen:talk:tiny
+           --graph "${clq}" --journal "${journal}" --resume)
+if(resume_out MATCHES "gen:webcc:tiny")
+  message(FATAL_ERROR "resume re-solved a journaled instance:\n${resume_out}")
+endif()
+string(REGEX MATCHALL "\"omega\":[0-9]+" resume_omegas "${resume_out}")
+list(LENGTH resume_omegas resume_count)
+if(NOT resume_count EQUAL 2)
+  message(FATAL_ERROR "resume: expected 2 solves, got ${resume_count}:"
+                      "\n${resume_out}")
+endif()
+file(READ "${journal}" journal_text)
+expect("${journal_text}" "smoke_k4" "resumed sweep journaled the file spec")
+
+# --resume without --journal is an input error.
+expect_exit(3 "resume-without-journal exit code" --graph "${clq}" --resume)
+
+# 11. SIGINT during a long solve: the driver reports best-so-far with
+# "interrupted": true and exits with the documented code (6).  MCE on the
+# medium gene network reliably runs far longer than the kill delay.
+if(UNIX)
+  execute_process(
+      COMMAND sh -c "'${LAZYMC_BIN}' --solver mce --graph gen:human-2:medium \
+--json > '${WORK_DIR}/interrupt.json' & pid=$!; sleep 1; \
+kill -INT $pid; wait $pid; exit $?"
+      RESULT_VARIABLE int_status)
+  if(NOT int_status EQUAL 6)
+    message(FATAL_ERROR "interrupted solve: expected exit 6, got "
+                        "${int_status}")
+  endif()
+  file(READ "${WORK_DIR}/interrupt.json" int_out)
+  expect("${int_out}" "\"interrupted\":true" "interrupt flagged in report")
+  expect("${int_out}" "\"omega\":[1-9]" "interrupted solve kept best-so-far")
+endif()
 
 message(STATUS "cli_smoke passed")

@@ -1,0 +1,94 @@
+#include "cli/journal.hpp"
+
+#include <cerrno>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/json.hpp"
+
+namespace lazymc::cli {
+namespace {
+
+// Extracts and unescapes the value of `"key": "..."` from one journal
+// line.  The journal writes its own lines through JsonWriter, so only
+// the escapes it produces need decoding.  Returns false when absent.
+bool extract_string(const std::string& line, const std::string& key,
+                    std::string& out) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  out.clear();
+  for (std::size_t i = at + needle.size(); i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '"') return true;
+    if (c != '\\') {
+      out.push_back(c);
+      continue;
+    }
+    if (++i >= line.size()) break;
+    switch (line[i]) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case 'n': out.push_back('\n'); break;
+      case 't': out.push_back('\t'); break;
+      case 'u': {
+        if (i + 4 >= line.size()) return false;
+        const std::string hex = line.substr(i + 1, 4);
+        out.push_back(static_cast<char>(std::stoi(hex, nullptr, 16)));
+        i += 4;
+        break;
+      }
+      default: return false;
+    }
+  }
+  return false;  // unterminated string
+}
+
+}  // namespace
+
+std::set<std::string> Journal::completed() const {
+  std::set<std::string> done;
+  if (!enabled()) return done;
+  std::ifstream in(path_);
+  if (!in) return done;  // no journal yet: nothing completed
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::string spec;
+    if (!extract_string(line, "spec", spec)) {
+      throw Error(ErrorKind::kInput,
+                  "journal '" + path_ + "' line " +
+                      std::to_string(line_no) +
+                      " is not a journal record: " + line);
+    }
+    done.insert(spec);
+  }
+  return done;
+}
+
+void Journal::record(const std::string& spec, const std::string& status,
+                     VertexId omega) const {
+  if (!enabled()) return;
+  std::ofstream out(path_, std::ios::app);
+  if (!out) {
+    throw Error(ErrorKind::kInput,
+                "cannot open journal '" + path_ + "' for append", errno);
+  }
+  std::ostringstream line;
+  JsonWriter w(line);
+  w.open();
+  w.field("spec", spec);
+  w.field("status", status);
+  w.field("omega", omega);
+  w.close();
+  out << line.str() << '\n' << std::flush;
+  if (!out) {
+    throw Error(ErrorKind::kInput,
+                "write to journal '" + path_ + "' failed", errno);
+  }
+}
+
+}  // namespace lazymc::cli

@@ -1,0 +1,42 @@
+// Crash-safe batch journal for manifest sweeps.
+//
+// One JSON line is appended (and flushed) per *completed* instance —
+// solved or timed out — so a sweep killed at any point can be resumed
+// with --resume: journaled instances are skipped, everything else
+// (including instances that failed or were interrupted mid-solve) is
+// re-run.  The file is append-only; re-running without --resume simply
+// appends a fresh pass.
+//
+// Line format (self-contained, no trailing state):
+//   {"spec": "<graph spec>", "status": "ok"|"timeout", "omega": N}
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace lazymc::cli {
+
+class Journal {
+ public:
+  /// An empty path disables the journal (record/completed become no-ops).
+  explicit Journal(std::string path) : path_(std::move(path)) {}
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// The specs already journaled as completed (any status).  A missing
+  /// file is an empty set (first run); an unreadable or ill-formed file
+  /// throws Error(kInput).
+  std::set<std::string> completed() const;
+
+  /// Appends one completed-instance record and flushes.  Throws
+  /// Error(kInput, errno) when the file cannot be opened or written.
+  void record(const std::string& spec, const std::string& status,
+              VertexId omega) const;
+
+ private:
+  std::string path_;
+};
+
+}  // namespace lazymc::cli

@@ -6,11 +6,13 @@
 #include <stdexcept>
 #include <string>
 
+#include "support/error.hpp"
+
 namespace lazymc::cli {
 namespace {
 
 [[noreturn]] void fail(const std::string& what) {
-  throw std::runtime_error(what + "\n\n" + usage());
+  throw Error(ErrorKind::kInput, what + "\n\n" + usage());
 }
 
 Solver parse_solver(const std::string& name) {
@@ -124,7 +126,33 @@ std::string usage() {
       "                       when not compiled in / CPU-supported)\n"
       "  --json               emit the result as JSON on stdout\n"
       "                       (implied by batch mode)\n"
-      "  --help, -h           print this message\n";
+      "  --journal FILE       batch mode: append one JSON line per\n"
+      "                       completed instance (crash-safe results log)\n"
+      "  --resume             batch mode: skip instances already recorded\n"
+      "                       in the --journal file (requires --journal)\n"
+      "  --retries N          retry an instance up to N times after a\n"
+      "                       transient (resource) failure, with capped\n"
+      "                       exponential backoff (default 0)\n"
+      "  --fault SPEC         arm fault-injection sites (repeatable);\n"
+      "                       SPEC is site=nth:N | site=every:K |\n"
+      "                       site=prob:P[:seed], comma-separable.  Also\n"
+      "                       read from the LAZYMC_FAULTS environment\n"
+      "                       variable.  Requires a -DLAZYMC_FAULTS=ON\n"
+      "                       build; see src/support/faultinject.hpp\n"
+      "  --help, -h           print this message\n"
+      "\n"
+      "exit codes:\n"
+      "  0  solved (batch: every instance solved or timed out)\n"
+      "  2  the --time-limit expired (single instance; the report still\n"
+      "     carries the best clique found and timed_out: true)\n"
+      "  3  input error (bad flags, unreadable/ill-formed graph or\n"
+      "     manifest, bad fault spec)\n"
+      "  4  internal or resource error (unexpected exception, failed\n"
+      "     witness verification, out of memory after retries)\n"
+      "  5  batch completed but some instances failed (each failure is\n"
+      "     reported as a JSON error object with error_kind/attempts)\n"
+      "  6  interrupted by SIGINT/SIGTERM (the in-flight instance still\n"
+      "     emits best-so-far JSON with interrupted: true)\n";
 }
 
 std::string solver_name(Solver solver) {
@@ -189,12 +217,23 @@ Options parse_options(int argc, char** argv, bool& wants_help) {
       options.time_limit_seconds = s;
     } else if (arg == "--json") {
       options.json = true;
+    } else if (arg == "--journal") {
+      options.journal_path = value(i, arg);
+    } else if (arg == "--resume") {
+      options.resume = true;
+    } else if (arg == "--retries") {
+      options.retries = parse_size(arg, value(i, arg));
+    } else if (arg == "--fault") {
+      options.fault_specs.push_back(value(i, arg));
     } else {
       fail("unknown argument '" + arg + "'");
     }
   }
   if (options.graph_specs.empty() && options.manifest_path.empty()) {
     fail("--graph or --manifest is required");
+  }
+  if (options.resume && options.journal_path.empty()) {
+    fail("--resume requires --journal (there is nothing to resume from)");
   }
   return options;
 }

@@ -7,7 +7,8 @@
 //          [--bitset-budget-mb N] [--pre-density]
 //          [--split auto|on|off] [--split-depth N] [--split-min-cands N]
 //          [--split-min-work N] [--kernels auto|scalar|avx2|avx512]
-//          [--json]
+//          [--json] [--journal FILE] [--resume] [--retries N]
+//          [--fault SPEC]
 //
 // `--graph` may repeat and `--manifest` names a file with one graph spec
 // per line; with more than one instance the driver runs them all in
@@ -66,6 +67,17 @@ struct Options {
   std::size_t threads = 0;  // 0 = hardware default
   double time_limit_seconds = std::numeric_limits<double>::infinity();
   bool json = false;
+  /// Fault-injection specs (one per --fault flag), applied in order after
+  /// the LAZYMC_FAULTS environment variable.  Rejected (input error) when
+  /// the binary was built without -DLAZYMC_FAULTS=ON.
+  std::vector<std::string> fault_specs;
+  /// Batch journal: append one line per completed instance; with
+  /// --resume, instances already journaled are skipped.
+  std::string journal_path;
+  bool resume = false;
+  /// Retries for transient (resource) per-instance failures, with capped
+  /// exponential backoff.
+  std::size_t retries = 0;
 };
 
 /// Returns the usage string (also printed by --help).

@@ -24,7 +24,16 @@ void render_text(const RunReport& r, std::ostream& out) {
     out << "verification: " << r.verification << "\n";
   }
   if (r.timed_out) out << "TIMED OUT (result is a lower bound)\n";
+  if (r.interrupted) out << "INTERRUPTED (result is best-so-far)\n";
   out << "time:     " << std::setprecision(3) << r.solve_seconds << "s\n";
+  if (!r.fault_sites.empty()) {
+    out << "faults:  ";
+    for (const auto& site : r.fault_sites) {
+      out << ' ' << site.name << "=" << site.fires << "/" << site.hits;
+      if (site.armed) out << "*";
+    }
+    out << "  (fires/hits, * = armed)\n";
+  }
   if (!r.has_lazymc) return;
 
   const auto& lz = r.lazymc;
@@ -53,6 +62,18 @@ void render_text(const RunReport& r, std::ostream& out) {
       << " retired-subtasks=" << s.retired_subtasks
       << " max-depth=" << s.max_split_depth
       << " work-rejected=" << s.split_work_rejected << "\n";
+  if (s.time_to_first_solution > 0) {
+    out << "anytime:  first-solution=" << s.time_to_first_solution
+        << "s improvements=" << s.improvements.size()
+        << " (last at " << s.improvements.back().seconds << "s)\n";
+  }
+  const auto& lg = lz.lazy_graph;
+  if (lg.bitset_degraded + s.degraded_wordsets + s.degraded_splits > 0) {
+    out << "degraded: bitset-rows=" << lg.bitset_degraded
+        << " wordsets=" << s.degraded_wordsets
+        << " splits=" << s.degraded_splits
+        << " (recovered allocation failures)\n";
+  }
   out << "          mc-nodes=" << s.mc_nodes << " vc-nodes=" << s.vc_nodes
       << " filter=" << s.filter_seconds << "s mc=" << s.mc_seconds
       << "s vc=" << s.vc_seconds << "s\n";
@@ -86,6 +107,7 @@ void render_json(const RunReport& r, std::ostream& out) {
   w.field("solve_seconds", r.solve_seconds);
   w.field("omega", r.omega);
   w.field("timed_out", r.timed_out);
+  w.field("interrupted", r.interrupted);
   w.field("verification", r.verification);
   if (!r.has_mce) w.field("clique", r.clique);
   if (r.has_mce) w.field("maximal_clique_count", r.mce_count);
@@ -116,6 +138,15 @@ void render_json(const RunReport& r, std::ostream& out) {
     w.field("retired_subtasks", s.retired_subtasks);
     w.field("max_split_depth", s.max_split_depth);
     w.field("split_work_rejected", s.split_work_rejected);
+    w.field("time_to_first_solution", s.time_to_first_solution);
+    w.open_array("improvements");
+    for (const auto& imp : s.improvements) {
+      w.open();
+      w.field("size", imp.size);
+      w.field("seconds", imp.seconds);
+      w.close();
+    }
+    w.close_array();
     w.field("filter_seconds", s.filter_seconds);
     w.field("mc_seconds", s.mc_seconds);
     w.field("vc_seconds", s.vc_seconds);
@@ -143,6 +174,24 @@ void render_json(const RunReport& r, std::ostream& out) {
     w.field("zone_size", g.zone_size);
     w.field("neighbors_kept", g.neighbors_kept);
     w.field("neighbors_filtered", g.neighbors_filtered);
+    w.close();
+    // Graceful-degradation counters (failure model): recovered
+    // allocation failures, by fallback path.
+    w.open("degradations");
+    w.field("bitset_rows", g.bitset_degraded);
+    w.field("wordsets", s.degraded_wordsets);
+    w.field("splits", s.degraded_splits);
+    w.close();
+  }
+  if (!r.fault_sites.empty()) {
+    w.open("fault_injection");
+    for (const auto& site : r.fault_sites) {
+      w.open(site.name);
+      w.field("hits", site.hits);
+      w.field("fires", site.fires);
+      w.field("armed", site.armed);
+      w.close();
+    }
     w.close();
   }
   w.close();

@@ -12,6 +12,7 @@
 
 #include "graph/graph.hpp"
 #include "mc/lazymc.hpp"
+#include "support/faultinject.hpp"
 
 namespace lazymc::cli {
 
@@ -27,6 +28,9 @@ struct RunReport {
   std::vector<VertexId> clique;  // empty for mce
   VertexId omega = 0;
   bool timed_out = false;
+  /// SIGINT/SIGTERM arrived during the solve: the clique is best-so-far
+  /// (anytime result), and the driver exits with the interrupted code.
+  bool interrupted = false;
 
   /// Independent post-solve check of the witness clique against the input
   /// graph (pairwise adjacency + size agreement with omega), run in every
@@ -40,6 +44,10 @@ struct RunReport {
   /// Present only for --solver mce.
   bool has_mce = false;
   std::uint64_t mce_count = 0;
+
+  /// Fault-injection counters (faults::snapshot()); non-empty only in
+  /// -DLAZYMC_FAULTS=ON builds once any site was interned.
+  std::vector<faults::SiteStats> fault_sites;
 };
 
 void render_text(const RunReport& report, std::ostream& out);

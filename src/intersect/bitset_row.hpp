@@ -27,6 +27,7 @@
 
 #include "graph/graph.hpp"
 #include "support/check.hpp"
+#include "support/faultinject.hpp"
 #include "support/simd.hpp"
 
 namespace lazymc {
@@ -69,6 +70,9 @@ class SparseWordSet {
   /// Rebuilds from `sorted` (ascending, unique, every element >=
   /// zone_begin and inside the zone).
   void build(std::span<const VertexId> sorted, VertexId zone_begin) {
+    // Models the arrays' growth to high-water capacity failing; callers
+    // degrade to scalar kernels for the round (see neighbor_search.cpp).
+    LAZYMC_FAULT_BAD_ALLOC("wordset.build");
     indices_.clear();
     bits_.clear();
     prefix_.clear();

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "intersect/intersect.hpp"
+#include "support/faultinject.hpp"
 #include "support/parallel.hpp"
 
 namespace lazymc {
@@ -92,6 +93,7 @@ void LazyGraph::build_sorted(VertexId v) {
 std::uint64_t* LazyGraph::carve_row() {
   SpinLockGuard guard(arena_lock_);
   if (slab_words_left_ < row_stride_words_) {
+    LAZYMC_FAULT_BAD_ALLOC("slab.alloc");
     // The caller already reserved this row from the budget, so `remaining`
     // counts the *other* rows that can still be admitted; sizing the slab
     // to them (plus this row) keeps total arena allocation within the
@@ -129,8 +131,21 @@ void LazyGraph::build_bitset(VertexId v) {
     bitset_exhausted_.store(true, std::memory_order_relaxed);
     return;
   }
-  std::vector<VertexId> nbrs = filtered_neighbors(v);
-  std::uint64_t* row = carve_row();
+  std::vector<VertexId> nbrs;
+  std::uint64_t* row = nullptr;
+  try {
+    LAZYMC_FAULT_BAD_ALLOC("bitset.row");
+    nbrs = filtered_neighbors(v);
+    row = carve_row();
+  } catch (const std::bad_alloc&) {
+    // Allocation failure degrades this one vertex, not the solve: refund
+    // the reserved words (another row may still fit), count it, and leave
+    // kBitsetBuilt clear so membership() falls back to hash/sorted.  The
+    // exhausted flag stays down — later rows get their own chance.
+    bitset_budget_words_.fetch_add(words, std::memory_order_relaxed);
+    stat_bitset_degraded_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   // Rows are carved at a 64-byte stride from 64-byte-aligned slabs; the
   // SIMD tiers' aligned loads rely on this.
   LAZYMC_ASSERT(reinterpret_cast<std::uintptr_t>(row) % 64 == 0,
@@ -312,6 +327,7 @@ LazyGraph::Stats LazyGraph::stats() const {
   return Stats{stat_hash_built_.load(std::memory_order_relaxed),
                stat_sorted_built_.load(std::memory_order_relaxed),
                stat_bitset_built_.load(std::memory_order_relaxed),
+               stat_bitset_degraded_.load(std::memory_order_relaxed),
                stat_bitset_words_.load(std::memory_order_relaxed) * 8,
                bitset_enabled_ ? static_cast<std::size_t>(zone_bits_) : 0,
                stat_kept_.load(std::memory_order_relaxed),

@@ -181,6 +181,8 @@ class LazyGraph {
     std::size_t hash_built = 0;
     std::size_t sorted_built = 0;
     std::size_t bitset_built = 0;
+    std::size_t bitset_degraded = 0;  // row builds that failed allocation
+                                      // and fell back to hash/sorted
     std::size_t bitset_bytes = 0;  // row storage actually committed
     std::size_t zone_size = 0;     // bits per row (0 = rows disabled)
     std::size_t neighbors_kept = 0;
@@ -267,6 +269,7 @@ class LazyGraph {
   mutable std::atomic<std::size_t> stat_hash_built_{0};
   mutable std::atomic<std::size_t> stat_sorted_built_{0};
   mutable std::atomic<std::size_t> stat_bitset_built_{0};
+  mutable std::atomic<std::size_t> stat_bitset_degraded_{0};
   mutable std::atomic<std::size_t> stat_bitset_words_{0};
   mutable std::atomic<std::size_t> stat_kept_{0};
   mutable std::atomic<std::size_t> stat_filtered_{0};

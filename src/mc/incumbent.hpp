@@ -21,12 +21,25 @@
 #include "support/check.hpp"
 #include "support/spinlock.hpp"
 #include "support/thread_annotations.hpp"
+#include "support/timer.hpp"
 
 namespace lazymc {
+
+/// One improving install: the new |C*| and when it happened, measured on
+/// the clock registered with enable_history() (anytime-behaviour
+/// instrumentation: the first entry is the time-to-first-solution).
+struct IncumbentImprovement {
+  VertexId size = 0;
+  double seconds = 0;
+};
 
 class Incumbent {
  public:
   Incumbent() = default;
+
+  /// Starts recording improvement timestamps against `timer` (must
+  /// outlive the incumbent's use).  Call before concurrent use begins.
+  void enable_history(const WallTimer* timer) { timer_ = timer; }
 
   /// Current size |C*| (relaxed; monotone non-decreasing).
   VertexId size() const { return size_.load(std::memory_order_relaxed); }
@@ -53,8 +66,16 @@ class Incumbent {
                             "published incumbent is not a clique of the "
                             "input graph");
     clique_.assign(clique.begin(), clique.end());
+    if (timer_ != nullptr) history_.push_back({sz, timer_->elapsed()});
     size_.store(sz, std::memory_order_release);
     return true;
+  }
+
+  /// Improvement timeline (empty unless enable_history() was called).
+  /// Sizes are strictly increasing; timestamps non-decreasing.
+  std::vector<IncumbentImprovement> history() const {
+    SpinLockGuard guard(lock_);
+    return history_;
   }
 
   /// Copy of the incumbent vertex set.
@@ -77,8 +98,10 @@ class Incumbent {
 
  private:
   std::atomic<VertexId> size_{0};
+  const WallTimer* timer_ = nullptr;
   mutable SpinLock lock_;
   std::vector<VertexId> clique_ LAZYMC_GUARDED_BY(lock_);
+  std::vector<IncumbentImprovement> history_ LAZYMC_GUARDED_BY(lock_);
 #if LAZYMC_CHECKED_ENABLED
   std::function<bool(std::span<const VertexId>)> verifier_;
 #endif

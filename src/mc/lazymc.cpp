@@ -66,6 +66,11 @@ LazyMCResult lazy_mc(const Graph& g, const LazyMCConfig& config) {
   incumbent.set_verifier(
       [&g](std::span<const VertexId> clique) { return is_clique(g, clique); });
 #endif
+  // Anytime instrumentation: every improving install is stamped against
+  // the solve clock (time_to_first_solution = first entry).  The phase
+  // timer cannot serve here — lap() restarts it at every phase boundary.
+  WallTimer solve_clock;
+  incumbent.enable_history(&solve_clock);
   WallTimer timer;
 
   // ---- 1. degree-based heuristic search (Algorithm 1 line 3) -----------
@@ -153,6 +158,8 @@ LazyMCResult lazy_mc(const Graph& g, const LazyMCConfig& config) {
   result.search.retired_subtasks = stats.retired_subtasks.load();
   result.search.max_split_depth = stats.max_split_depth.load();
   result.search.split_work_rejected = stats.split_work_rejected.load();
+  result.search.degraded_wordsets = stats.degraded_wordsets.load();
+  result.search.degraded_splits = stats.degraded_splits.load();
   result.search.kernel_merge = stats.kernels.merge.load();
   result.search.kernel_gallop = stats.kernels.gallop.load();
   result.search.kernel_hash = stats.kernels.hash.load();
@@ -173,6 +180,11 @@ LazyMCResult lazy_mc(const Graph& g, const LazyMCConfig& config) {
   result.search.vc_seconds = stats.vc_seconds();
   result.search.mc_nodes = stats.mc_nodes.load();
   result.search.vc_nodes = stats.vc_nodes.load();
+  result.search.improvements = incumbent.history();
+  result.search.time_to_first_solution =
+      result.search.improvements.empty()
+          ? 0.0
+          : result.search.improvements.front().seconds;
   result.lazy_graph = lazy.stats();
   return result;
 }

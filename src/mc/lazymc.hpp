@@ -127,6 +127,9 @@ struct SearchStatsSnapshot {
   std::uint64_t retired_subtasks = 0;
   std::uint64_t max_split_depth = 0;
   std::uint64_t split_work_rejected = 0;
+  // Graceful degradation: recovered allocation failures (failure model).
+  std::uint64_t degraded_wordsets = 0;
+  std::uint64_t degraded_splits = 0;
   // Adaptive-dispatch kernel counts (KernelCounters snapshot).
   std::uint64_t kernel_merge = 0;
   std::uint64_t kernel_gallop = 0;
@@ -145,6 +148,11 @@ struct SearchStatsSnapshot {
   double vc_seconds = 0;
   std::uint64_t mc_nodes = 0;
   std::uint64_t vc_nodes = 0;
+  // Anytime behaviour: when each improving incumbent was installed,
+  // measured from solver start.  time_to_first_solution is the first
+  // entry's timestamp (0 when no solution was found).
+  double time_to_first_solution = 0;
+  std::vector<IncumbentImprovement> improvements;
 
   double work_seconds() const {
     return filter_seconds + mc_seconds + vc_seconds;

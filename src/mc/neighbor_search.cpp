@@ -6,6 +6,7 @@
 #include <variant>
 
 #include "graph/subgraph.hpp"
+#include "support/faultinject.hpp"
 #include "support/parallel.hpp"
 #include "support/timer.hpp"
 #include "support/wordops.hpp"
@@ -39,15 +40,23 @@ void atomic_max(std::atomic<std::uint64_t>& target, std::uint64_t value) {
 /// order).  Rows without a bitset fall back to per-pair membership
 /// probes.
 void induce_from_lazy(LazyGraph& h, const std::vector<VertexId>& members,
-                      DenseSubgraph& out, SearchScratch& scratch) {
+                      DenseSubgraph& out, SearchScratch& scratch,
+                      SearchStats& stats) {
   const std::size_t n = members.size();
   out.reset_pooled(n);
   out.vertices.assign(members.begin(), members.end());
   EdgeId m = 0;
-  const bool words_ready = h.bitset_enabled() && n >= 2;
+  bool words_ready = h.bitset_enabled() && n >= 2;
   if (words_ready) {
-    scratch.a_words.build({members.data(), members.size()}, h.zone_begin());
-    scratch.and_words.resize(scratch.a_words.num_entries());
+    try {
+      scratch.a_words.build({members.data(), members.size()}, h.zone_begin());
+      scratch.and_words.resize(scratch.a_words.num_entries());
+    } catch (const std::bad_alloc&) {
+      // Degrade this extraction to per-pair membership probes; the word
+      // form is a pure accelerator, never the only copy of the data.
+      words_ready = false;
+      stats.degraded_wordsets.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   const VertexId zone_begin = h.zone_begin();
   const wordops::Table& ops = wordops::active();
@@ -139,20 +148,31 @@ class SplitHook final : public BBSplitHook {
     // pre-split bound, whereas as queued tasks the big frames complete
     // first and the claim-time incumbent check retires the tail for the
     // cost of one comparison.  The cap is a runaway guard only.
+    if (degraded_) return false;
     if (!sticky_ && !frame_accepted(candidates.count())) return false;
     if (accepts_left_ == 0) return false;
-    if (!shared_) materialize();
+    try {
+      LAZYMC_FAULT_BAD_ALLOC("task.materialize");
+      if (!shared_) materialize();
+      SubproblemTask task;
+      task.shared = shared_;
+      task.prefix.assign(prefix.begin(), prefix.end());
+      task.candidates = candidates;
+      task.upper_bound = potential + 1;  // + the head vertex
+      task.depth = parent_depth_ + 1;
+      buffer_.push_back(std::move(task));
+    } catch (const std::bad_alloc&) {
+      // Declining the offer keeps the B&B correct — the solver recurses
+      // into the frame inline; we just lose the steal.  Stop offering for
+      // this solve so a solver that already split keeps its frames local.
+      degraded_ = true;
+      stats_.degraded_splits.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
     sticky_ = true;
     --accepts_left_;
-    SubproblemTask task;
-    task.shared = shared_;
-    task.prefix.assign(prefix.begin(), prefix.end());
-    task.candidates = candidates;
-    task.upper_bound = potential + 1;  // + the head vertex
-    task.depth = parent_depth_ + 1;
     stats_.split_tasks.fetch_add(1, std::memory_order_relaxed);
-    atomic_max(stats_.max_split_depth, task.depth);
-    buffer_.push_back(std::move(task));
+    atomic_max(stats_.max_split_depth, parent_depth_ + 1);
     return true;
   }
 
@@ -212,6 +232,7 @@ class SplitHook final : public BBSplitHook {
   std::shared_ptr<const SharedSubproblem> shared_;
   std::uint32_t parent_depth_ = 0;
   bool sticky_ = false;
+  bool degraded_ = false;  // a materialization failed; solve inline
   std::size_t accepts_left_ = 4096;
   std::vector<SubproblemTask> buffer_;
 };
@@ -261,14 +282,27 @@ void neighbor_search(LazyGraph& h, VertexId v, Incumbent& incumbent,
   // The word form of n_set feeds the bitset kernels whenever a candidate's
   // membership view carries a bitset row (n_set ⊆ zone: every survivor of
   // filter 1 has coreness >= bound >= the bound when rows were enabled).
-  const bool zone_kernels = h.bitset_enabled();
-  const SparseWordSet* a_words = zone_kernels ? &scratch.a_words : nullptr;
+  // A failed word-form build degrades the round to scalar kernels (the
+  // word set is an accelerator; membership views answer without it).
+  bool zone_kernels = h.bitset_enabled();
+  auto build_words = [&](std::span<const VertexId> span)
+      -> const SparseWordSet* {
+    if (!zone_kernels) return nullptr;
+    try {
+      scratch.a_words.build(span, h.zone_begin());
+      return &scratch.a_words;
+    } catch (const std::bad_alloc&) {
+      zone_kernels = false;
+      stats.degraded_wordsets.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+  };
   std::vector<VertexId>& kept = scratch.kept;
   {
     kept.clear();
     kept.reserve(n_set.size());
     std::span<const VertexId> n_span(n_set);
-    if (zone_kernels) scratch.a_words.build(n_span, h.zone_begin());
+    const SparseWordSet* a_words = build_words(n_span);
     std::int64_t theta = static_cast<std::int64_t>(bound) - 2;
     for (VertexId u : n_set) {
       NeighborhoodView u_nbrs = h.membership(u);
@@ -297,7 +331,7 @@ void neighbor_search(LazyGraph& h, VertexId v, Incumbent& incumbent,
     kept.clear();
     kept.reserve(n_set.size());
     std::span<const VertexId> n_span(n_set);
-    if (zone_kernels) scratch.a_words.build(n_span, h.zone_begin());
+    const SparseWordSet* a_words = build_words(n_span);
     std::int64_t theta = static_cast<std::int64_t>(bound) - 2;
     for (VertexId u : n_set) {
       NeighborhoodView u_nbrs = h.membership(u);
@@ -320,7 +354,7 @@ void neighbor_search(LazyGraph& h, VertexId v, Incumbent& incumbent,
 
   // ---- algorithmic choice (lines 14-17) ---------------------------------
   DenseSubgraph& sub = scratch.sub;
-  induce_from_lazy(h, n_set, sub, scratch);
+  induce_from_lazy(h, n_set, sub, scratch, stats);
   // m̂/(n(n-1)) is the paper's pre-extraction estimate (m̂ sums directed
   // degrees, so it is ~2m̂_edges); the default uses the extracted
   // subgraph's exact density, which is available at no extra cost and
@@ -572,9 +606,11 @@ void systematic_search(LazyGraph& h, Incumbent& incumbent,
   // Probe chunks and subproblem tasks interleave in one loop; the drain
   // ends when the TaskGroup says everything ever enqueued completed.
   std::vector<SearchScratch> scratch(participants);
-  drain_queue(
+  try {
+    drain_queue(
       thread_pool(), queue, group,
       [&](std::size_t p, WorkItem& item) {
+        LAZYMC_FAULT_THROW("worker.exec");
         SearchScratch& mine = scratch[p];
         SubproblemSink* sink = split_enabled ? &sinks[p] : nullptr;
         if (LevelChunk* c = std::get_if<LevelChunk>(&item)) {
@@ -595,6 +631,17 @@ void systematic_search(LazyGraph& h, Incumbent& incumbent,
         }
       },
       [&] { return options.control && options.control->cancelled(); });
+  } catch (...) {
+    // A worker exception (injected or real) must not strand the rest of
+    // the pool: cancelling the shared control makes every cooperative
+    // check — and drain_queue's own stop predicate — wind down, the
+    // TaskGroup abort path drains the queue, and only then does the
+    // error resurface to the caller (the CLI reports it structured).
+    // All per-solve state (scratch arenas, queue, sinks) unwinds here,
+    // so the pool and a fresh solve are immediately usable again.
+    if (options.control) options.control->cancel();
+    throw;
+  }
 }
 
 }  // namespace lazymc::mc

@@ -83,6 +83,14 @@ struct SearchStats {
   // Frames big enough for the raw count rule (split_min_cands) that the
   // work estimate (candidates x density, split_min_work mode) rejected.
   std::atomic<std::uint64_t> split_work_rejected{0};
+  // Graceful degradation (failure model): each count is one recovered
+  // allocation failure that would previously have aborted the solve.
+  // SparseWordSet builds that failed — the filter round ran on scalar
+  // kernels instead of word-parallel ones.
+  std::atomic<std::uint64_t> degraded_wordsets{0};
+  // Subproblem decompositions that failed to materialize — the B&B
+  // solved the frame inline on the probing thread instead of splitting.
+  std::atomic<std::uint64_t> degraded_splits{0};
   // Where the adaptive dispatcher ran each intersection (wired into every
   // IntersectPolicy used by the solve; see mc/intersect_policy.hpp).
   KernelCounters kernels;

@@ -14,6 +14,27 @@
 
 namespace lazymc {
 
+namespace interrupt {
+
+/// Process-wide cooperative interrupt flag (SIGINT/SIGTERM).  request()
+/// is a single relaxed store on a constant-initialized atomic, so the
+/// CLI's signal handler may call it directly (async-signal-safe).
+/// Every SolveControl observes the flag, so one signal cancels whatever
+/// solve is in flight and the run still reports best-so-far.
+inline constinit std::atomic<bool> g_requested{false};
+
+inline void request() noexcept {
+  g_requested.store(true, std::memory_order_relaxed);
+}
+inline bool requested() noexcept {
+  return g_requested.load(std::memory_order_relaxed);
+}
+inline void clear() noexcept {
+  g_requested.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace interrupt
+
 class SolveControl {
  public:
   SolveControl() = default;
@@ -26,7 +47,7 @@ class SolveControl {
   bool should_stop(std::uint64_t& local_counter) const {
     if (cancelled_.load(std::memory_order_relaxed)) return true;
     if ((++local_counter & (kCheckInterval - 1)) != 1) return false;
-    if (timer_.elapsed() > time_limit_) {
+    if (interrupt::requested() || timer_.elapsed() > time_limit_) {
       cancelled_.store(true, std::memory_order_relaxed);
       return true;
     }
@@ -34,9 +55,12 @@ class SolveControl {
   }
 
   bool cancelled() const {
-    return cancelled_.load(std::memory_order_relaxed);
+    return cancelled_.load(std::memory_order_relaxed) ||
+           interrupt::requested();
   }
-  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  /// const: any holder of the shared control may cancel (a worker that
+  /// hit an unrecoverable error, the signal path, the time limit).
+  void cancel() const { cancelled_.store(true, std::memory_order_relaxed); }
 
   double elapsed() const { return timer_.elapsed(); }
   double time_limit() const { return time_limit_; }

@@ -1,0 +1,254 @@
+#include "support/faultinject.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace lazymc::faults {
+namespace {
+
+#if LAZYMC_FAULTS_ENABLED
+
+enum class Mode : std::uint8_t { kOff, kNth, kEvery, kProb };
+
+#endif
+
+}  // namespace
+
+#if LAZYMC_FAULTS_ENABLED
+
+namespace detail {
+
+// Trigger fields are written under the registry mutex (between solves)
+// and read relaxed from poll(); the hit counter is the only field
+// mutated on the hot path.
+struct SiteState {
+  std::string name;
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> fires{0};
+  std::atomic<Mode> mode{Mode::kOff};
+  std::atomic<std::uint64_t> param{0};  // nth: N / every: K / prob: threshold
+  std::atomic<std::uint64_t> seed{0};
+};
+
+}  // namespace detail
+
+namespace {
+
+using detail::SiteState;
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<SiteState>> sites;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: sites outlive all threads
+  return *r;
+}
+
+SiteState* intern_locked(Registry& r, const std::string& name) {
+  auto it = r.sites.find(name);
+  if (it == r.sites.end()) {
+    auto state = std::make_unique<SiteState>();
+    state->name = name;
+    it = r.sites.emplace(name, std::move(state)).first;
+  }
+  return it->second.get();
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+[[noreturn]] void bad_spec(const std::string& entry, const char* why) {
+  throw Error(ErrorKind::kInput,
+              "bad fault spec '" + entry + "': " + why);
+}
+
+std::uint64_t parse_u64(const std::string& entry, const std::string& text,
+                        const char* what) {
+  if (text.empty() || text.find_first_not_of("0123456789") !=
+                          std::string::npos) {
+    bad_spec(entry, what);
+  }
+  errno = 0;
+  const unsigned long long value = std::strtoull(text.c_str(), nullptr, 10);
+  if (errno != 0) bad_spec(entry, what);
+  return static_cast<std::uint64_t>(value);
+}
+
+void apply_entry(const std::string& entry) {
+  const std::size_t eq = entry.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    bad_spec(entry, "expected site=trigger");
+  }
+  const std::string site_name = entry.substr(0, eq);
+  const std::string trigger = entry.substr(eq + 1);
+  const std::size_t colon = trigger.find(':');
+  if (colon == std::string::npos) {
+    bad_spec(entry, "expected nth:N, every:K or prob:P[:seed]");
+  }
+  const std::string kind = trigger.substr(0, colon);
+  const std::string rest = trigger.substr(colon + 1);
+
+  Mode mode = Mode::kOff;
+  std::uint64_t param = 0;
+  std::uint64_t seed = 0;
+  if (kind == "nth" || kind == "every") {
+    mode = kind == "nth" ? Mode::kNth : Mode::kEvery;
+    param = parse_u64(entry, rest, "count must be a positive integer");
+    if (param == 0) bad_spec(entry, "count must be a positive integer");
+  } else if (kind == "prob") {
+    mode = Mode::kProb;
+    std::string prob_text = rest;
+    const std::size_t seed_colon = rest.find(':');
+    if (seed_colon != std::string::npos) {
+      prob_text = rest.substr(0, seed_colon);
+      seed = parse_u64(entry, rest.substr(seed_colon + 1),
+                       "seed must be an unsigned integer");
+    }
+    char* end = nullptr;
+    errno = 0;
+    const double p = std::strtod(prob_text.c_str(), &end);
+    if (prob_text.empty() || end == nullptr || *end != '\0' || errno != 0 ||
+        !(p >= 0.0) || !(p <= 1.0)) {
+      bad_spec(entry, "probability must be in [0, 1]");
+    }
+    // Map p to a u64 threshold; p == 1 must fire on every hit.
+    param = p >= 1.0 ? ~0ull
+                     : static_cast<std::uint64_t>(
+                           std::ldexp(p, 64) < 1.0 ? (p > 0.0 ? 1.0 : 0.0)
+                                                   : std::ldexp(p, 64));
+  } else {
+    bad_spec(entry, "unknown trigger (want nth, every or prob)");
+  }
+
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  SiteState* site = intern_locked(r, site_name);
+  site->param.store(param, std::memory_order_relaxed);
+  site->seed.store(seed, std::memory_order_relaxed);
+  site->mode.store(mode, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+namespace detail {
+
+SiteState* intern(const char* name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return intern_locked(r, name);
+}
+
+bool poll(SiteState* site) {
+  const std::uint64_t hit =
+      site->hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  const Mode mode = site->mode.load(std::memory_order_relaxed);
+  if (mode == Mode::kOff) return false;
+  const std::uint64_t param = site->param.load(std::memory_order_relaxed);
+  bool fire = false;
+  switch (mode) {
+    case Mode::kOff:
+      break;
+    case Mode::kNth:
+      fire = hit == param;
+      break;
+    case Mode::kEvery:
+      fire = hit % param == 0;
+      break;
+    case Mode::kProb: {
+      // param == ~0 means p == 1: fire unconditionally (a threshold
+      // compare would miss the one hash value equal to the max).
+      const std::uint64_t s = site->seed.load(std::memory_order_relaxed);
+      fire = param == ~0ull || splitmix64(s ^ hit) < param;
+      break;
+    }
+  }
+  if (fire) site->fires.fetch_add(1, std::memory_order_relaxed);
+  return fire;
+}
+
+void stall(std::uint64_t milliseconds) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(milliseconds));
+}
+
+}  // namespace detail
+
+void configure(const std::string& spec) {
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(begin, end - begin);
+    if (!entry.empty()) apply_entry(entry);
+    begin = end + 1;
+  }
+}
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (auto& [name, site] : r.sites) {
+    site->mode.store(Mode::kOff, std::memory_order_relaxed);
+    site->param.store(0, std::memory_order_relaxed);
+    site->seed.store(0, std::memory_order_relaxed);
+    site->hits.store(0, std::memory_order_relaxed);
+    site->fires.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<SiteStats> snapshot() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<SiteStats> out;
+  out.reserve(r.sites.size());
+  for (const auto& [name, site] : r.sites) {
+    SiteStats stats;
+    stats.name = name;
+    stats.hits = site->hits.load(std::memory_order_relaxed);
+    stats.fires = site->fires.load(std::memory_order_relaxed);
+    stats.armed = site->mode.load(std::memory_order_relaxed) != Mode::kOff;
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+#else  // !LAZYMC_FAULTS_ENABLED
+
+void configure(const std::string& spec) {
+  // A non-empty spec is a hard error: the user asked for a fault plan
+  // this binary cannot honour, and running "clean" instead would report
+  // a fault-free pass the experiment never executed.
+  for (const char c : spec) {
+    if (c != ',' && c != ' ') {
+      throw Error(ErrorKind::kInput,
+                  "fault injection requested ('" + spec +
+                      "') but this binary was built without "
+                      "-DLAZYMC_FAULTS=ON");
+    }
+  }
+}
+
+void reset() {}
+
+std::vector<SiteStats> snapshot() { return {}; }
+
+#endif  // LAZYMC_FAULTS_ENABLED
+
+void configure_from_env() {
+  const char* env = std::getenv("LAZYMC_FAULTS");
+  if (env != nullptr && *env != '\0') configure(env);
+}
+
+}  // namespace lazymc::faults

@@ -1,0 +1,140 @@
+// Deterministic fault injection.
+//
+// A registry of named injection sites compiled in only under
+// -DLAZYMC_FAULTS=ON; in normal builds every macro below folds to a
+// constant and the hot paths carry zero cost.  Each site is polled with
+// LAZYMC_FAULT_FIRED("name") (or one of the action wrappers) and fires
+// according to a trigger configured at process level:
+//
+//   site=nth:N       fire exactly on the N-th hit (1-based)
+//   site=every:K     fire on every K-th hit
+//   site=prob:P      fire each hit with probability P in [0,1],
+//   site=prob:P:S    deterministically: splitmix64(S ^ hit) < P * 2^64
+//
+// Specs are comma-separated lists of entries, read from the
+// LAZYMC_FAULTS environment variable (configure_from_env) or --fault
+// flags (faults::configure).  Sites are interned lazily, so a spec may
+// name a site before the code path that registers it has ever run; a
+// misspelled site simply never fires (snapshot() makes that visible:
+// its hit count stays zero).
+//
+// Hit counting is lock-free (one relaxed fetch_add per poll); trigger
+// reconfiguration takes the registry mutex and is meant to happen
+// between solves, not during one.
+#pragma once
+
+#include <cstdint>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+#if defined(LAZYMC_FAULTS)
+#define LAZYMC_FAULTS_ENABLED 1
+#else
+#define LAZYMC_FAULTS_ENABLED 0
+#endif
+
+namespace lazymc::faults {
+
+/// Per-site counters returned by snapshot().
+struct SiteStats {
+  std::string name;
+  std::uint64_t hits = 0;   ///< times the site was polled
+  std::uint64_t fires = 0;  ///< times the poll said "fail now"
+  bool armed = false;       ///< a trigger is currently configured
+};
+
+/// The exception injected at error-action sites ("worker.exec").
+/// Classified as a resource failure so the batch driver treats it as
+/// transient — exactly the retry path injection is meant to exercise.
+class InjectedFault : public Error {
+ public:
+  explicit InjectedFault(const std::string& site)
+      : Error(ErrorKind::kResource,
+              "injected fault at site '" + site + "'") {}
+};
+
+/// True when the binary was built with -DLAZYMC_FAULTS=ON.
+constexpr bool enabled() { return LAZYMC_FAULTS_ENABLED != 0; }
+
+/// Parse and apply a trigger spec ("a=nth:3,b=prob:0.5:42").  Throws
+/// Error(kInput) on malformed specs, and on any non-empty spec when the
+/// binary was built without fault support (silently ignoring a
+/// requested fault plan would invalidate the experiment).
+void configure(const std::string& spec);
+
+/// configure() with the LAZYMC_FAULTS environment variable, if set.
+void configure_from_env();
+
+/// Disarm every trigger and zero all counters.
+void reset();
+
+/// Counters for every site that has been interned (configured or hit),
+/// sorted by name.  Empty in non-fault builds.
+std::vector<SiteStats> snapshot();
+
+#if LAZYMC_FAULTS_ENABLED
+
+namespace detail {
+
+struct SiteState;
+
+/// Intern `name`, creating its state on first use.  Called once per
+/// call site via a function-local static.
+SiteState* intern(const char* name);
+
+/// Count a hit and report whether the configured trigger fires.
+bool poll(SiteState* site);
+
+/// Sleep briefly — the "injected stall" action for scheduling sites.
+void stall(std::uint64_t milliseconds);
+
+}  // namespace detail
+
+/// Evaluates to true when the named site fires on this hit.
+#define LAZYMC_FAULT_FIRED(name)                                      \
+  ([]() -> bool {                                                     \
+    static ::lazymc::faults::detail::SiteState* lazymc_fault_state =  \
+        ::lazymc::faults::detail::intern(name);                       \
+    return ::lazymc::faults::detail::poll(lazymc_fault_state);        \
+  }())
+
+/// Simulate allocation failure: throws std::bad_alloc when the site
+/// fires.  Place at the top of the allocation being modelled so the
+/// degradation path sees exactly what a real failure would produce.
+#define LAZYMC_FAULT_BAD_ALLOC(name)             \
+  do {                                           \
+    if (LAZYMC_FAULT_FIRED(name)) {              \
+      throw std::bad_alloc();                    \
+    }                                            \
+  } while (0)
+
+/// Inject a structured failure: throws faults::InjectedFault.
+#define LAZYMC_FAULT_THROW(name)                       \
+  do {                                                 \
+    if (LAZYMC_FAULT_FIRED(name)) {                    \
+      throw ::lazymc::faults::InjectedFault(name);     \
+    }                                                  \
+  } while (0)
+
+/// Inject a scheduling stall: sleeps `ms` milliseconds when the site
+/// fires (models a descheduled/starved worker, not a failure).
+#define LAZYMC_FAULT_STALL(name, ms)             \
+  do {                                           \
+    if (LAZYMC_FAULT_FIRED(name)) {              \
+      ::lazymc::faults::detail::stall(ms);       \
+    }                                            \
+  } while (0)
+
+#else  // !LAZYMC_FAULTS_ENABLED
+
+#define LAZYMC_FAULT_FIRED(name) false
+#define LAZYMC_FAULT_BAD_ALLOC(name) static_cast<void>(0)
+#define LAZYMC_FAULT_THROW(name) static_cast<void>(0)
+#define LAZYMC_FAULT_STALL(name, ms) static_cast<void>(0)
+
+#endif  // LAZYMC_FAULTS_ENABLED
+
+}  // namespace lazymc::faults

@@ -38,6 +38,8 @@
 #include <exception>
 #include <memory>
 #include <thread>
+
+#include "support/faultinject.hpp"
 #include <type_traits>
 #include <vector>
 
@@ -517,6 +519,10 @@ void drain_queue(ThreadPool& pool, WorkQueue<T>& queue, TaskGroup& group,
       if (aborted.load(std::memory_order_relaxed) || stop()) break;
       if (queue.pop(p, item)) {
         idle_spins = 0;
+        // Injected scheduling stall (fault builds only): models a worker
+        // descheduled between claiming an item and processing it, which
+        // the completion accounting must tolerate without losing work.
+        LAZYMC_FAULT_STALL("worker.stall", 2);
         try {
           process(p, item);
         } catch (...) {

@@ -1,0 +1,95 @@
+// Timeout-path tests (failure model): a solve cut off by --time-limit
+// must still return a valid best-so-far witness, and the anytime
+// instrumentation (first-solution time, incumbent improvements) must be
+// consistent.  Runs at 1 and 8 threads so the cancellation paths through
+// the pool are exercised under the sanitizer jobs too.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/suite.hpp"
+#include "mc/lazymc.hpp"
+#include "support/parallel.hpp"
+
+namespace lazymc {
+namespace {
+
+class Timeout : public ::testing::Test {
+ protected:
+  void TearDown() override { set_num_threads(1); }
+};
+
+TEST_F(Timeout, DenseInstanceTimesOutWithValidWitness) {
+  // gnp(400, 0.5) cannot be solved in 20ms by any configuration: the
+  // systematic phase is guaranteed to be cut off mid-search.
+  Graph g = gen::gnp(400, 0.5, 5);
+  for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    set_num_threads(threads);
+    mc::LazyMCConfig config;
+    config.time_limit_seconds = 0.02;
+    auto r = mc::lazy_mc(g, config);
+    EXPECT_TRUE(r.timed_out) << threads << " threads";
+    // Best-so-far must still be a real clique of the input graph.
+    EXPECT_GE(r.omega, 1u);
+    EXPECT_EQ(r.clique.size(), r.omega) << threads << " threads";
+    EXPECT_TRUE(is_clique(g, r.clique)) << threads << " threads";
+  }
+}
+
+TEST_F(Timeout, SuiteWideTinyLimitNeverProducesAnInvalidResult) {
+  // Every suite instance under a near-zero limit: whichever phase the
+  // clock expires in, the result is either a certified solve (the limit
+  // never bit) or a flagged timeout — always with a valid witness.
+  for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    set_num_threads(threads);
+    for (const auto& inst : suite::make_suite(suite::Scale::kTiny)) {
+      mc::LazyMCConfig config;
+      config.time_limit_seconds = 1e-4;
+      auto r = mc::lazy_mc(inst.graph, config);
+      EXPECT_EQ(r.clique.size(), r.omega) << inst.name;
+      EXPECT_TRUE(is_clique(inst.graph, r.clique))
+          << inst.name << " @ " << threads << " threads";
+      // The clock may expire before the first incumbent (an empty clique
+      // is legitimate best-so-far then), but a completed solve of a
+      // nonempty graph must have found at least one vertex.
+      if (!r.timed_out && inst.graph.num_vertices() > 0) {
+        EXPECT_GE(r.omega, 1u) << inst.name;
+      }
+    }
+  }
+}
+
+TEST_F(Timeout, IncumbentHistoryIsMonotoneAndConsistent) {
+  Graph g = gen::gnp(400, 0.5, 5);
+  set_num_threads(8);
+  mc::LazyMCConfig config;
+  config.time_limit_seconds = 0.05;
+  auto r = mc::lazy_mc(g, config);
+  ASSERT_FALSE(r.search.improvements.empty());
+  EXPECT_EQ(r.search.time_to_first_solution,
+            r.search.improvements.front().seconds);
+  EXPECT_GT(r.search.time_to_first_solution, 0.0);
+  for (std::size_t i = 1; i < r.search.improvements.size(); ++i) {
+    // Strictly better cliques, non-decreasing timestamps.
+    EXPECT_GT(r.search.improvements[i].size,
+              r.search.improvements[i - 1].size);
+    EXPECT_GE(r.search.improvements[i].seconds,
+              r.search.improvements[i - 1].seconds);
+  }
+  // The history ends at the reported incumbent.
+  EXPECT_EQ(r.search.improvements.back().size, r.omega);
+}
+
+TEST_F(Timeout, UntimedSolveRecordsFirstSolutionTime) {
+  Graph g = gen::gnp(60, 0.3, 9);
+  auto r = mc::lazy_mc(g);
+  EXPECT_FALSE(r.timed_out);
+  ASSERT_FALSE(r.search.improvements.empty());
+  EXPECT_GT(r.search.time_to_first_solution, 0.0);
+  EXPECT_EQ(r.search.improvements.back().size, r.omega);
+}
+
+}  // namespace
+}  // namespace lazymc
