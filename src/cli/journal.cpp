@@ -1,51 +1,49 @@
 #include "cli/journal.hpp"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cerrno>
 #include <fstream>
 #include <sstream>
 
 #include "support/error.hpp"
 #include "support/json.hpp"
+#include "support/jsonmini.hpp"
 
 namespace lazymc::cli {
 namespace {
 
-// Extracts and unescapes the value of `"key": "..."` from one journal
-// line.  The journal writes its own lines through JsonWriter, so only
-// the escapes it produces need decoding.  Returns false when absent.
-bool extract_string(const std::string& line, const std::string& key,
-                    std::string& out) {
-  const std::string needle = "\"" + key + "\":\"";
-  const std::size_t at = line.find(needle);
-  if (at == std::string::npos) return false;
-  out.clear();
-  for (std::size_t i = at + needle.size(); i < line.size(); ++i) {
-    const char c = line[i];
-    if (c == '"') return true;
-    if (c != '\\') {
-      out.push_back(c);
-      continue;
-    }
-    if (++i >= line.size()) break;
-    switch (line[i]) {
-      case '"': out.push_back('"'); break;
-      case '\\': out.push_back('\\'); break;
-      case 'n': out.push_back('\n'); break;
-      case 't': out.push_back('\t'); break;
-      case 'u': {
-        if (i + 4 >= line.size()) return false;
-        const std::string hex = line.substr(i + 1, 4);
-        out.push_back(static_cast<char>(std::stoi(hex, nullptr, 16)));
-        i += 4;
-        break;
-      }
-      default: return false;
-    }
+/// fsync the directory containing `path`, so the journal file's very
+/// existence (its directory entry) is durable.  Failure is surfaced: a
+/// journal that silently cannot be made durable is worse than no journal.
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) {
+    throw Error(ErrorKind::kInput,
+                "cannot open journal directory '" + dir + "' for fsync",
+                errno);
   }
-  return false;  // unterminated string
+  const int rc = ::fsync(dfd);
+  const int saved_errno = errno;
+  ::close(dfd);
+  if (rc != 0) {
+    throw Error(ErrorKind::kInput,
+                "fsync of journal directory '" + dir + "' failed",
+                saved_errno);
+  }
 }
 
 }  // namespace
+
+Journal::~Journal() {
+  if (fd_ >= 0) ::close(fd_);
+}
 
 std::set<std::string> Journal::completed() const {
   std::set<std::string> done;
@@ -58,7 +56,7 @@ std::set<std::string> Journal::completed() const {
     ++line_no;
     if (line.empty()) continue;
     std::string spec;
-    if (!extract_string(line, "spec", spec)) {
+    if (!json_get_string(line, "spec", spec)) {
       throw Error(ErrorKind::kInput,
                   "journal '" + path_ + "' line " +
                       std::to_string(line_no) +
@@ -69,25 +67,57 @@ std::set<std::string> Journal::completed() const {
   return done;
 }
 
-void Journal::record(const std::string& spec, const std::string& status,
-                     VertexId omega) const {
-  if (!enabled()) return;
-  std::ofstream out(path_, std::ios::app);
-  if (!out) {
+void Journal::ensure_open() {
+  if (fd_ >= 0) return;
+  // Probe first so we know whether open() created the file: only a
+  // creation needs the directory fsync.
+  struct stat st;
+  const bool existed = ::stat(path_.c_str(), &st) == 0;
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+               0644);
+  if (fd_ < 0) {
     throw Error(ErrorKind::kInput,
                 "cannot open journal '" + path_ + "' for append", errno);
   }
-  std::ostringstream line;
-  JsonWriter w(line);
+  if (!existed) fsync_parent_dir(path_);
+}
+
+void Journal::reopen() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Journal::record(const std::string& spec, const std::string& status,
+                     VertexId omega) {
+  if (!enabled()) return;
+  ensure_open();
+  std::ostringstream buf;
+  JsonWriter w(buf);
   w.open();
   w.field("spec", spec);
   w.field("status", status);
   w.field("omega", omega);
   w.close();
-  out << line.str() << '\n' << std::flush;
-  if (!out) {
+  buf << '\n';
+  const std::string line = buf.str();
+  // One full-line write (O_APPEND keeps concurrent writers' lines whole),
+  // then fsync so the record survives power loss before we report the
+  // instance as journaled.
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ::ssize_t n = ::write(fd_, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(ErrorKind::kInput,
+                  "write to journal '" + path_ + "' failed", errno);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0) {
     throw Error(ErrorKind::kInput,
-                "write to journal '" + path_ + "' failed", errno);
+                "fsync of journal '" + path_ + "' failed", errno);
   }
 }
 

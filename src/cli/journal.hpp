@@ -1,14 +1,22 @@
-// Crash-safe batch journal for manifest sweeps.
+// Crash-safe batch/request journal.
 //
-// One JSON line is appended (and flushed) per *completed* instance —
-// solved or timed out — so a sweep killed at any point can be resumed
-// with --resume: journaled instances are skipped, everything else
-// (including instances that failed or were interrupted mid-solve) is
-// re-run.  The file is append-only; re-running without --resume simply
-// appends a fresh pass.
+// One JSON line is appended — and made *durable* — per completed unit of
+// work: a batch-sweep instance (solved or timed out) or a daemon request.
+// A sweep killed at any point can be resumed with --resume: journaled
+// instances are skipped, everything else (including instances that failed
+// or were interrupted mid-solve) is re-run.  The file is append-only;
+// re-running without --resume simply appends a fresh pass.
+//
+// Durability: each record is written with O_APPEND semantics through one
+// long-lived descriptor and fsync()ed before record() returns, and the
+// *directory* is fsync()ed once when the journal file is first created —
+// so both the records and the file's existence survive power loss, not
+// just process crash.  reopen() closes and re-acquires the descriptor
+// (the daemon's SIGHUP handler uses it so an external rotation takes
+// effect without a restart).
 //
 // Line format (self-contained, no trailing state):
-//   {"spec": "<graph spec>", "status": "ok"|"timeout", "omega": N}
+//   {"spec": "<graph spec or request id>", "status": "...", "omega": N}
 #pragma once
 
 #include <set>
@@ -21,22 +29,39 @@ namespace lazymc::cli {
 class Journal {
  public:
   /// An empty path disables the journal (record/completed become no-ops).
+  /// The file is opened lazily on the first record().
   explicit Journal(std::string path) : path_(std::move(path)) {}
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
 
   bool enabled() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
 
   /// The specs already journaled as completed (any status).  A missing
   /// file is an empty set (first run); an unreadable or ill-formed file
   /// throws Error(kInput).
   std::set<std::string> completed() const;
 
-  /// Appends one completed-instance record and flushes.  Throws
-  /// Error(kInput, errno) when the file cannot be opened or written.
+  /// Appends one completed-record line and fsync()s it.  Throws
+  /// Error(kInput, errno) when the file cannot be opened, written, or
+  /// synced.
   void record(const std::string& spec, const std::string& status,
-              VertexId omega) const;
+              VertexId omega);
+
+  /// Closes the descriptor; the next record() reopens (and re-creates)
+  /// the file.  SIGHUP rotation hook — safe to call at any point between
+  /// records.
+  void reopen();
 
  private:
+  /// Ensures fd_ is open, creating the file (and fsyncing its directory
+  /// on creation) as needed.
+  void ensure_open();
+
   std::string path_;
+  int fd_ = -1;
 };
 
 }  // namespace lazymc::cli

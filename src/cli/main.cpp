@@ -23,6 +23,7 @@
 #include <csignal>
 #include <cstdio>
 #include <exception>
+#include <functional>
 #include <iostream>
 #include <set>
 #include <stdexcept>
@@ -46,6 +47,7 @@
 #include "support/faultinject.hpp"
 #include "support/json.hpp"
 #include "support/parallel.hpp"
+#include "support/random.hpp"
 #include "support/simd.hpp"
 #include "support/timer.hpp"
 
@@ -68,7 +70,10 @@ int exit_code_for(ErrorKind kind) {
     case ErrorKind::kInput: return kExitInputError;
     case ErrorKind::kInterrupted: return kExitInterrupted;
     case ErrorKind::kResource:
-    case ErrorKind::kInternal: return kExitInternalError;
+    case ErrorKind::kInternal:
+    // kOverloaded is a daemon-side rejection; the batch driver never
+    // produces it, but a classified Error must still map somewhere sane.
+    case ErrorKind::kOverloaded: return kExitInternalError;
   }
   return kExitInternalError;
 }
@@ -301,10 +306,21 @@ InstanceOutcome run_instance(const Options& options, const std::string& spec,
       const Error err = classify_current_exception(ErrorKind::kInternal);
       if (err.transient() && attempt < max_attempts &&
           !interrupt::requested()) {
-        // Capped exponential backoff: 50ms doubling to at most 1s.
+        // Capped exponential backoff: 50ms doubling to at most 1s, with
+        // +/-25% deterministic jitter so a manifest sweep (or a fleet of
+        // daemon clients) that hit one shared transient failure does not
+        // retry in lockstep.  Seeded from splitmix64 over the spec and
+        // attempt — no global RNG state, and re-runs replay exactly.
+        const std::uint64_t base = std::min<std::uint64_t>(
+            std::uint64_t{50} << (attempt - 1), 1000);
+        std::uint64_t seed = std::hash<std::string>{}(spec) ^
+                             (std::uint64_t{0x9e3779b9} * attempt);
+        const std::uint64_t rand = splitmix64(seed);
+        // Map to [0.75, 1.25): jitter = 0.75 + (rand / 2^64) * 0.5.
+        const double factor =
+            0.75 + static_cast<double>(rand >> 11) * 0x1.0p-53 * 0.5;
         const auto delay = std::chrono::milliseconds(
-            std::min<std::uint64_t>(std::uint64_t{50} << (attempt - 1),
-                                    1000));
+            static_cast<std::uint64_t>(static_cast<double>(base) * factor));
         std::this_thread::sleep_for(delay);
         continue;
       }

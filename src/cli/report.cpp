@@ -98,6 +98,8 @@ void render_text(const RunReport& r, std::ostream& out) {
 void render_json(const RunReport& r, std::ostream& out) {
   JsonWriter w(out);
   w.open();
+  if (!r.request_id.empty()) w.field("request_id", r.request_id);
+  if (!r.request_status.empty()) w.field("status", r.request_status);
   w.field("graph", r.graph);
   w.field("solver", r.solver);
   w.field("threads", r.threads);

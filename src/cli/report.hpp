@@ -17,6 +17,13 @@
 namespace lazymc::cli {
 
 struct RunReport {
+  /// Daemon request identity, empty for plain CLI runs.  When set,
+  /// render_json leads the object with request_id/status so lazymcd's
+  /// solve responses are the CLI's --json schema plus request framing.
+  /// status is "ok", "timeout", or "interrupted".
+  std::string request_id;
+  std::string request_status;
+
   std::string graph;   // LoadedGraph::description
   std::string solver;  // solver_name(...)
   std::size_t threads = 1;

@@ -1,0 +1,204 @@
+// Request broker: bounded admission, isolated execution, supervised
+// completion — the failure-isolated request lifecycle of lazymcd.
+//
+// Every request admitted by the daemon becomes a RequestTicket owning
+// exactly the state one solve needs: its own SolveControl (end-to-end
+// deadline measured from admission, explicit cancel, the process
+// interrupt flag as one input), its own completion latch, and its own
+// response buffer.  Executor threads (a small fixed set, distinct from
+// the solver pool's workers) pull tickets from a bounded FIFO queue and
+// run the injected SolveFn; the solver pool is shared across concurrent
+// executors via the ThreadPool launcher gate, so requests interleave at
+// job granularity while their incumbents, stats, and scratch stay
+// per-request.
+//
+// Robustness properties the broker enforces:
+//  * bounded admission — a full queue (or a draining daemon) rejects with
+//    a structured ErrorKind::kOverloaded *before* any work starts, so
+//    load produces fast sheds instead of unbounded latency;
+//  * failure isolation — an exception from one request (injected fault,
+//    bad graph, resource exhaustion) is caught at the executor boundary,
+//    classified, and turned into that request's error response; the
+//    executor, the pool, and every concurrent request keep going;
+//  * reconcilable accounting — admitted == completed + failed + shed +
+//    in_flight at every consistent snapshot (counters and gauges are
+//    updated under one lock), which the health endpoint exposes and the
+//    CI robustness demo asserts.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/control.hpp"
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace lazymc::daemon {
+
+struct BrokerConfig {
+  /// Executor threads = maximum concurrently *running* solves.  Each
+  /// executor multiplexes its request's parallel phases onto the shared
+  /// solver pool.
+  std::size_t executors = 2;
+  /// Maximum *queued* (admitted, not yet running) requests before
+  /// admission sheds with kOverloaded.
+  std::size_t max_queue = 16;
+  /// Budget applied when a request names none (seconds; infinity = no
+  /// limit).
+  double default_time_limit = std::numeric_limits<double>::infinity();
+  /// Hard cap on any request's budget (seconds; infinity = uncapped).
+  double max_time_limit = std::numeric_limits<double>::infinity();
+};
+
+/// One admitted request's lifecycle record.  Shared between the
+/// connection thread (waits for completion), an executor (runs it), and
+/// the watchdog (deadline/stall supervision) — each touching disjoint or
+/// individually synchronized state.
+class RequestTicket {
+ public:
+  RequestTicket(std::uint64_t id, std::string client_id, std::string graph,
+                double time_limit)
+      : id_(id),
+        client_id_(std::move(client_id)),
+        graph_(std::move(graph)),
+        control_(time_limit) {}
+
+  std::uint64_t id() const { return id_; }
+  const std::string& client_id() const { return client_id_; }
+  const std::string& graph() const { return graph_; }
+
+  /// The request's cancellation/deadline authority.  The deadline clock
+  /// starts at *admission* (queue wait spends budget — under load a
+  /// deadline bounds end-to-end latency, not just solve time).
+  SolveControl& control() { return control_; }
+  const SolveControl& control() const { return control_; }
+
+  bool done() const {
+    MutexLock lock(mutex_);
+    return done_;
+  }
+
+  /// Blocks until an executor completed the ticket; returns the response
+  /// line.
+  std::string wait() {
+    MutexLock lock(mutex_);
+    while (!done_) cv_.wait(lock.native());
+    return response_;
+  }
+
+  /// Executor side: publish the response and wake waiters.
+  void complete(std::string response) {
+    {
+      MutexLock lock(mutex_);
+      response_ = std::move(response);
+      done_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  // Watchdog-private bookkeeping (single watchdog thread; no locking).
+  std::uint64_t watchdog_last_heartbeat = 0;
+  std::uint64_t watchdog_flat_scans = 0;
+  bool watchdog_stall_reported = false;
+
+ private:
+  const std::uint64_t id_;
+  const std::string client_id_;
+  const std::string graph_;
+  SolveControl control_;
+
+  mutable Mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ LAZYMC_GUARDED_BY(mutex_) = false;
+  std::string response_ LAZYMC_GUARDED_BY(mutex_);
+};
+
+class RequestBroker {
+ public:
+  /// Consistent accounting snapshot (taken under the broker lock).
+  struct Counters {
+    std::uint64_t admitted = 0;   ///< every submit() call
+    std::uint64_t completed = 0;  ///< executor produced a result response
+    std::uint64_t failed = 0;     ///< executor produced an error response
+    std::uint64_t shed = 0;       ///< rejected at admission (kOverloaded)
+    std::uint64_t queued = 0;     ///< gauge: admitted, not yet running
+    std::uint64_t running = 0;    ///< gauge: currently executing
+    std::uint64_t in_flight() const { return queued + running; }
+  };
+
+  /// `solve` runs one ticket to a response line (the server wires the
+  /// real graph-store + lazy_mc path; tests inject fakes).  A throwing
+  /// solve is the *failed* path — the broker classifies and responds.
+  using SolveFn = std::function<std::string(RequestTicket&)>;
+
+  RequestBroker(BrokerConfig config, SolveFn solve);
+  /// Drains with cancel (so queued/running tickets unwind promptly),
+  /// then joins the executors — every admitted ticket still gets its
+  /// response before the broker dies.
+  ~RequestBroker();
+
+  RequestBroker(const RequestBroker&) = delete;
+  RequestBroker& operator=(const RequestBroker&) = delete;
+
+  /// Admission control.  Returns the ticket on admission; throws
+  /// Error(kOverloaded) when the queue is full or the broker is
+  /// draining (counted as shed).  `time_limit` 0 means the configured
+  /// default; the configured max caps either.
+  std::shared_ptr<RequestTicket> submit(const std::string& graph,
+                                        double time_limit,
+                                        const std::string& client_id);
+
+  /// Stops admitting (subsequent submits shed).  With `cancel_in_flight`,
+  /// every queued and running ticket's control is cancelled with
+  /// StopCause::kInterrupted so solves unwind to verified best-so-far
+  /// responses promptly (SIGTERM / `stop` semantics); without it,
+  /// in-flight work finishes naturally (`drain` semantics).
+  void drain(bool cancel_in_flight);
+
+  bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
+
+  /// Blocks until every admitted ticket has completed (drain() must have
+  /// been called, or this may wait forever under sustained traffic).
+  void wait_idle();
+
+  Counters counters() const;
+
+  /// Live (queued or running) tickets, for the watchdog scan.
+  std::vector<std::shared_ptr<RequestTicket>> live() const;
+
+ private:
+  void executor_loop();
+
+  const BrokerConfig config_;
+  const SolveFn solve_;
+
+  mutable Mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_idle_;
+  std::deque<std::shared_ptr<RequestTicket>> queue_
+      LAZYMC_GUARDED_BY(mutex_);
+  std::vector<std::shared_ptr<RequestTicket>> live_
+      LAZYMC_GUARDED_BY(mutex_);
+  std::uint64_t next_id_ LAZYMC_GUARDED_BY(mutex_) = 1;
+  std::uint64_t admitted_ LAZYMC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t completed_ LAZYMC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t failed_ LAZYMC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t shed_ LAZYMC_GUARDED_BY(mutex_) = 0;
+  std::uint64_t running_ LAZYMC_GUARDED_BY(mutex_) = 0;
+  bool stopping_ LAZYMC_GUARDED_BY(mutex_) = false;
+
+  std::atomic<bool> draining_{false};
+  std::vector<std::thread> executors_;
+};
+
+}  // namespace lazymc::daemon

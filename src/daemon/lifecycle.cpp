@@ -1,0 +1,73 @@
+#include "daemon/lifecycle.hpp"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <fstream>
+#include <string>
+
+#include "support/control.hpp"
+#include "support/error.hpp"
+
+namespace lazymc::daemon {
+namespace {
+
+void on_terminate(int) { interrupt::request(); }
+void on_hup(int) { signals::g_hup.store(true, std::memory_order_relaxed); }
+
+/// Reads a pid from `path`; 0 when the file is missing, unreadable, or
+/// holds no parseable pid (treated as stale).
+pid_t read_pidfile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return 0;
+  long pid = 0;
+  in >> pid;
+  if (!in || pid <= 0) return 0;
+  return static_cast<pid_t>(pid);
+}
+
+}  // namespace
+
+void install_daemon_signal_handlers() {
+  std::signal(SIGTERM, on_terminate);
+  std::signal(SIGINT, on_terminate);
+  std::signal(SIGHUP, on_hup);
+  std::signal(SIGPIPE, SIG_IGN);
+}
+
+Pidfile::Pidfile(const std::string& path, const std::string& stale_socket)
+    : path_(path) {
+  const pid_t existing = read_pidfile(path_);
+  if (existing > 0) {
+    // kill(pid, 0): existence probe, no signal delivered.  ESRCH means
+    // the recorded instance is gone; EPERM means it exists under another
+    // uid — still a live owner, refuse.
+    if (::kill(existing, 0) == 0 || errno == EPERM) {
+      throw Error(ErrorKind::kInput,
+                  "lazymcd already running (pid " + std::to_string(existing) +
+                      ", pidfile '" + path_ + "')");
+    }
+    // Stale: the previous instance died without cleanup (crash, kill
+    // -9).  Reclaim its pidfile and socket so the restart proceeds.
+    ::unlink(path_.c_str());
+    if (!stale_socket.empty()) ::unlink(stale_socket.c_str());
+    recovered_stale_ = true;
+  }
+
+  std::ofstream out(path_, std::ios::trunc);
+  if (!out) {
+    throw Error(ErrorKind::kInput, "cannot write pidfile '" + path_ + "'",
+                errno);
+  }
+  out << ::getpid() << '\n';
+  out.flush();
+  if (!out) {
+    throw Error(ErrorKind::kInput, "short write to pidfile '" + path_ + "'");
+  }
+}
+
+Pidfile::~Pidfile() { ::unlink(path_.c_str()); }
+
+}  // namespace lazymc::daemon

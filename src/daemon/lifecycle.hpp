@@ -1,0 +1,71 @@
+// Supervised daemon lifecycle: pidfile ownership and signal wiring.
+//
+// A resident service must fail cleanly across its own crashes.  The
+// pidfile protocol here follows the classic service-manager discipline
+// (cf. openrc's start-stop-daemon): at startup read any existing
+// pidfile, probe the recorded pid with kill(pid, 0), and
+//
+//  * pid alive  -> refuse to start (structured kInput error; two daemons
+//                  on one socket is the unrecoverable state);
+//  * pid dead / file stale -> a previous instance crashed (kill -9,
+//                  OOM): remove the stale pidfile *and* the stale socket
+//                  it names, remember the recovery for the health
+//                  endpoint, and start normally.
+//
+// Signals: SIGTERM/SIGINT request the drain-then-exit path through the
+// same process-global cooperative flag the CLI uses (every in-flight
+// SolveControl observes it via its default interrupt source, so
+// in-flight solves unwind to verified best-so-far responses).  SIGHUP
+// sets a separate flag the accept loop polls to re-open the request
+// journal (log rotation).  All handlers are single relaxed stores —
+// async-signal-safe.
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <string>
+
+namespace lazymc::daemon {
+
+namespace signals {
+
+/// SIGHUP latch (journal rotation).  consume() returns true at most once
+/// per delivered signal burst.
+inline constinit std::atomic<bool> g_hup{false};
+
+inline bool consume_hup() noexcept { return g_hup.exchange(false); }
+
+}  // namespace signals
+
+/// Installs SIGTERM/SIGINT -> interrupt::request() and SIGHUP ->
+/// signals::g_hup.  SIGPIPE is ignored process-wide as a second line of
+/// defence behind MSG_NOSIGNAL.
+void install_daemon_signal_handlers();
+
+/// RAII pidfile ownership with stale-instance recovery.
+class Pidfile {
+ public:
+  /// Acquires `path` for this process.  Throws Error(kInput) when a live
+  /// instance owns it.  On stale-pid detection also unlinks
+  /// `stale_socket` (the dead instance's socket would otherwise make
+  /// bind() fail with EADDRINUSE forever).
+  Pidfile(const std::string& path, const std::string& stale_socket);
+  ~Pidfile();
+
+  Pidfile(const Pidfile&) = delete;
+  Pidfile& operator=(const Pidfile&) = delete;
+
+  /// True when acquisition removed a dead instance's leftovers (exposed
+  /// by the health endpoint as "recovered_stale": the restart path the
+  /// CI kill -9 test asserts).
+  bool recovered_stale() const { return recovered_stale_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  bool recovered_stale_ = false;
+};
+
+}  // namespace lazymc::daemon

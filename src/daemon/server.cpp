@@ -1,0 +1,403 @@
+#include "daemon/server.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <iostream>
+#include <list>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "cli/report.hpp"
+#include "daemon/lifecycle.hpp"
+#include "daemon/protocol.hpp"
+#include "mc/lazymc.hpp"
+#include "support/control.hpp"
+#include "support/faultinject.hpp"
+#include "support/json.hpp"
+#include "support/jsonmini.hpp"
+#include "support/parallel.hpp"
+#include "support/socket.hpp"
+#include "support/timer.hpp"
+
+namespace lazymc::daemon {
+namespace {
+
+/// Mirrors the executor's catch-site policy for paths outside the broker
+/// (graph loads, connection dispatch).
+Error classify_current_exception() {
+  try {
+    throw;
+  } catch (const Error& e) {
+    return e;
+  } catch (const std::bad_alloc&) {
+    return Error(ErrorKind::kResource, "out of memory");
+  } catch (const std::exception& e) {
+    return Error(ErrorKind::kInternal, e.what());
+  } catch (...) {
+    return Error(ErrorKind::kInternal, "unknown exception");
+  }
+}
+
+std::string chomp(std::string s) {
+  while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+std::shared_ptr<const cli::LoadedGraph> GraphStore::get(
+    const std::string& spec) {
+  // One lock across the whole load: a second request for a graph that is
+  // mid-parse waits for the cache instead of parsing it again.
+  MutexLock lock(mutex_);
+  auto it = graphs_.find(spec);
+  if (it != graphs_.end()) return it->second;
+  std::shared_ptr<const cli::LoadedGraph> loaded;
+  try {
+    loaded = std::make_shared<const cli::LoadedGraph>(cli::load_graph(spec));
+  } catch (const Error&) {
+    throw;
+  } catch (const std::bad_alloc&) {
+    throw Error(ErrorKind::kResource, "out of memory loading '" + spec + "'");
+  } catch (const std::exception& e) {
+    throw Error(ErrorKind::kInput, e.what(), errno);
+  }
+  graphs_.emplace(spec, loaded);
+  return loaded;
+}
+
+std::size_t GraphStore::size() const {
+  MutexLock lock(mutex_);
+  return graphs_.size();
+}
+
+Server::Server(ServerConfig config) : config_(std::move(config)) {}
+
+namespace {
+
+/// All mutable daemon state, scoped to one run().
+struct Daemon {
+  explicit Daemon(const ServerConfig& server_config)
+      : config(server_config), journal(server_config.journal_path) {}
+
+  const ServerConfig& config;
+  GraphStore store;
+  cli::Journal journal;
+  Mutex journal_mutex;  ///< record()/reopen() from executors + accept loop
+
+  std::unique_ptr<RequestBroker> broker;
+  std::unique_ptr<Watchdog> watchdog;
+
+  WallTimer uptime;
+  bool recovered_stale = false;
+  std::size_t journal_recovered = 0;
+
+  std::atomic<bool> drain_requested{false};
+  std::atomic<bool> stop_requested{false};
+  std::atomic<bool> closing_connections{false};
+
+  /// One ticket -> one response line (the broker's SolveFn).
+  std::string solve_ticket(RequestTicket& ticket) {
+    const std::shared_ptr<const cli::LoadedGraph> loaded =
+        store.get(ticket.graph());
+
+    cli::RunReport report;
+    report.request_id = ticket.client_id().empty()
+                            ? std::to_string(ticket.id())
+                            : ticket.client_id();
+    report.graph = loaded->description;
+    report.solver = "lazymc";
+    report.threads = num_threads();
+    report.num_vertices = loaded->graph.num_vertices();
+    report.num_edges = loaded->graph.num_edges();
+    report.load_seconds = loaded->load_seconds;
+
+    mc::LazyMCConfig mc_config;
+    // The per-request isolation seam: this solve observes (and is
+    // cancellable through) the ticket's control only.
+    mc_config.control = &ticket.control();
+
+    WallTimer timer;
+    mc::LazyMCResult result = mc::lazy_mc(loaded->graph, mc_config);
+    report.solve_seconds = timer.elapsed();
+
+    report.clique = std::move(result.clique);
+    report.omega = result.omega;
+    report.has_lazymc = true;
+    result.clique = report.clique;  // keep the embedded copy coherent
+    report.lazymc = std::move(result);
+
+    const StopCause cause = ticket.control().stop_cause();
+    report.interrupted = cause == StopCause::kInterrupted ||
+                         cause == StopCause::kCancelled;
+    report.timed_out = !report.interrupted &&
+                       (cause == StopCause::kDeadline || report.lazymc.timed_out);
+    report.request_status = report.interrupted ? "interrupted"
+                            : report.timed_out ? "timeout"
+                                               : "ok";
+
+    // Same independent witness re-check the CLI performs: even a
+    // best-so-far (interrupted/timeout) clique must verify against the
+    // input graph before it is sent anywhere.
+    const bool ok =
+        report.clique.size() == static_cast<std::size_t>(report.omega) &&
+        is_clique(loaded->graph, report.clique);
+    report.verification = ok ? "ok" : "failed";
+    report.fault_sites = faults::snapshot();
+    if (!ok) {
+      throw Error(ErrorKind::kInternal,
+                  "result verification failed for request " +
+                      report.request_id + " on " + report.graph);
+    }
+
+    {
+      MutexLock lock(journal_mutex);
+      journal.record(ticket.graph(), report.request_status, report.omega);
+    }
+
+    std::ostringstream buf;
+    cli::render_json(report, buf);
+    return chomp(buf.str());
+  }
+
+  std::string status_response() {
+    const RequestBroker::Counters c = broker->counters();
+    std::ostringstream buf;
+    JsonWriter w(buf);
+    w.open();
+    w.field("ok", true);
+    w.field("pid", static_cast<std::int64_t>(::getpid()));
+    w.field("uptime_seconds", uptime.elapsed());
+    w.field("threads", num_threads());
+    w.field("executors", config.executors);
+    w.field("draining", broker->draining());
+    w.field("graphs", store.size());
+    w.open("requests");
+    w.field("admitted", c.admitted);
+    w.field("completed", c.completed);
+    w.field("failed", c.failed);
+    w.field("shed", c.shed);
+    w.field("queued", c.queued);
+    w.field("running", c.running);
+    w.field("in_flight", c.in_flight());
+    w.close();
+    w.open("watchdog");
+    w.field("cancels", watchdog->cancels());
+    w.field("stalls", watchdog->stalls());
+    w.close();
+    w.field("recovered_stale", recovered_stale);
+    w.field("journal_recovered", journal_recovered);
+    w.close();
+    return buf.str();
+  }
+
+  /// Dispatches one parsed request to its response line.
+  std::string dispatch(const Request& request) {
+    switch (request.verb) {
+      case Verb::kLoad: {
+        const auto loaded = store.get(request.graph);
+        std::ostringstream detail;
+        detail << loaded->description << ": " << loaded->graph.num_vertices()
+               << " vertices, " << loaded->graph.num_edges() << " edges";
+        return ack_response("load", detail.str());
+      }
+      case Verb::kSolve: {
+        // Blocks this connection thread until an executor completes the
+        // ticket; other connections (and other requests on *their*
+        // threads) keep flowing.
+        auto ticket =
+            broker->submit(request.graph, request.time_limit, request.id);
+        return ticket->wait();
+      }
+      case Verb::kStatus:
+        return status_response();
+      case Verb::kDrain:
+        broker->drain(/*cancel_in_flight=*/false);
+        drain_requested.store(true, std::memory_order_relaxed);
+        return ack_response("drain",
+                            "draining: new requests shed, in-flight "
+                            "requests finish, then the daemon exits");
+      case Verb::kStop:
+        broker->drain(/*cancel_in_flight=*/true);
+        stop_requested.store(true, std::memory_order_relaxed);
+        return ack_response("stop",
+                            "stopping: in-flight requests return verified "
+                            "best-so-far results, then the daemon exits");
+    }
+    throw Error(ErrorKind::kInternal, "unhandled verb");
+  }
+
+  /// One client connection, line at a time.  A request error answers the
+  /// request and keeps the connection; an I/O error (or EOF, or daemon
+  /// shutdown) ends it.
+  void serve_connection(net::Fd fd) {
+    net::LineChannel channel(fd.get());
+    std::string line;
+    for (;;) {
+      net::LineChannel::ReadStatus status;
+      try {
+        status = channel.read_line(line, /*timeout_ms=*/250);
+      } catch (...) {
+        return;  // connection-level read failure: close quietly
+      }
+      if (status == net::LineChannel::ReadStatus::kEof) return;
+      if (status == net::LineChannel::ReadStatus::kTimeout) {
+        if (closing_connections.load(std::memory_order_relaxed)) return;
+        continue;
+      }
+      if (line.empty()) continue;
+
+      std::string response;
+      try {
+        // Injected connection failure (fault builds): this connection's
+        // request fails structurally; the daemon and its peers carry on.
+        LAZYMC_FAULT_THROW("conn.io");
+        response = dispatch(parse_request(line));
+      } catch (...) {
+        const Error err = classify_current_exception();
+        std::string id;
+        json_get_string(line, "id", id);  // best effort for the envelope
+        response = error_response(id, err.kind(), err.what(),
+                                  err.sys_errno());
+      }
+      try {
+        channel.write_line(response);
+      } catch (...) {
+        return;  // peer went away mid-response
+      }
+    }
+  }
+};
+
+}  // namespace
+
+int Server::run() {
+  install_daemon_signal_handlers();
+
+  Daemon d(config_);
+
+  // Supervised startup: claim the pidfile (recovering a crashed
+  // instance's leftovers), then the socket.
+  Pidfile pidfile(config_.pidfile_path, config_.socket_path);
+  d.recovered_stale = pidfile.recovered_stale();
+
+  if (d.journal.enabled()) {
+    try {
+      d.journal_recovered = d.journal.completed().size();
+    } catch (const Error& e) {
+      // A torn journal (power loss mid-line) must not block restart; the
+      // journal is an audit trail, not a correctness dependency.
+      std::cerr << "lazymcd: ignoring unreadable journal: " << e.what()
+                << "\n";
+    }
+  }
+
+  net::UnixListener listener(config_.socket_path, /*backlog=*/16);
+
+  set_num_threads(config_.threads);
+  BrokerConfig broker_config;
+  broker_config.executors = config_.executors;
+  broker_config.max_queue = config_.max_queue;
+  broker_config.default_time_limit = config_.default_time_limit;
+  broker_config.max_time_limit = config_.max_time_limit;
+  d.broker = std::make_unique<RequestBroker>(
+      broker_config, [&d](RequestTicket& t) { return d.solve_ticket(t); });
+  d.watchdog = std::make_unique<Watchdog>(*d.broker, config_.watchdog);
+
+  std::cerr << "lazymcd: serving on " << config_.socket_path << " (pid "
+            << ::getpid() << ", " << num_threads() << " solver threads, "
+            << config_.executors << " executors)"
+            << (d.recovered_stale ? ", recovered stale instance" : "")
+            << "\n";
+
+  struct Connection {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+  std::list<std::unique_ptr<Connection>> connections;
+  std::size_t active = 0;
+
+  const auto reap = [&connections, &active]() {
+    for (auto it = connections.begin(); it != connections.end();) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        (*it)->thread.join();
+        it = connections.erase(it);
+        --active;
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  for (;;) {
+    if (interrupt::requested() &&
+        !d.stop_requested.load(std::memory_order_relaxed)) {
+      // SIGTERM/SIGINT: the global flag already cancels every in-flight
+      // control (default interrupt source); drain the broker so the
+      // accounting and admission agree with the signal.
+      d.broker->drain(/*cancel_in_flight=*/true);
+      d.stop_requested.store(true, std::memory_order_relaxed);
+    }
+    if (d.stop_requested.load(std::memory_order_relaxed)) break;
+    if (d.drain_requested.load(std::memory_order_relaxed) &&
+        d.broker->counters().in_flight() == 0) {
+      break;
+    }
+    if (signals::consume_hup()) {
+      MutexLock lock(d.journal_mutex);
+      d.journal.reopen();
+      std::cerr << "lazymcd: SIGHUP — journal reopened\n";
+    }
+
+    reap();
+
+    net::Fd client = listener.accept(/*timeout_ms=*/200);
+    if (!client.valid()) continue;
+
+    if (active >= config_.max_connections) {
+      // Connection-level load shedding: answer structurally, then close.
+      try {
+        net::LineChannel channel(client.get());
+        channel.write_line(error_response(
+            "", ErrorKind::kOverloaded,
+            "connection limit reached (" +
+                std::to_string(config_.max_connections) +
+                "); back off and retry"));
+      } catch (...) {
+      }
+      continue;
+    }
+
+    auto connection = std::make_unique<Connection>();
+    Connection* raw = connection.get();
+    connection->thread = std::thread(
+        [&d, raw](net::Fd fd) {
+          d.serve_connection(std::move(fd));
+          raw->done.store(true, std::memory_order_release);
+        },
+        std::move(client));
+    connections.push_back(std::move(connection));
+    ++active;
+  }
+
+  // Shutdown: every admitted ticket completes (cancelled solves unwind
+  // to best-so-far responses), connections observe the closing flag at
+  // their next read timeout, then supervision and the broker wind down.
+  d.broker->wait_idle();
+  d.closing_connections.store(true, std::memory_order_relaxed);
+  for (auto& connection : connections) connection->thread.join();
+  connections.clear();
+  d.watchdog.reset();
+  d.broker.reset();
+
+  std::cerr << "lazymcd: exiting ("
+            << (d.stop_requested.load(std::memory_order_relaxed) ? "stop"
+                                                                 : "drain")
+            << ")\n";
+  return 0;
+}
+
+}  // namespace lazymc::daemon

@@ -1,0 +1,98 @@
+// lazymcd server: a resident clique-solving service over a Unix socket.
+//
+// Composition of the daemon substrate:
+//
+//   UnixListener  --accept-->  connection threads (bounded)
+//        |                         | parse_request (protocol.hpp)
+//        |                         v
+//        |                    RequestBroker  --executors-->  lazy_mc on
+//        |                         ^                         the shared
+//        |                     Watchdog                      ThreadPool
+//        |
+//   Pidfile + signal handlers (lifecycle.hpp), request Journal
+//
+// Graphs are loaded once into an in-process store and shared read-only
+// across requests; each request owns its SolveControl / incumbent /
+// stats (LazyMCConfig::control), so concurrent solves interleave on the
+// pool at job granularity without sharing mutable solve state.
+//
+// Lifecycle verbs and signals:
+//   drain / SIGHUP?  -> no: drain verb only.  Refuse new work
+//                       (kOverloaded sheds), let in-flight requests
+//                       finish naturally, then exit 0.
+//   stop / SIGTERM / SIGINT -> refuse new work, cancel in-flight
+//                       controls (StopCause::kInterrupted); solves
+//                       unwind cooperatively and their clients receive
+//                       verified best-so-far reports with
+//                       "interrupted": true; exit 0.
+//   SIGHUP           -> re-open the request journal (rotation), keep
+//                       serving.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cli/graph_source.hpp"
+#include "cli/journal.hpp"
+#include "daemon/broker.hpp"
+#include "daemon/watchdog.hpp"
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace lazymc::daemon {
+
+struct ServerConfig {
+  std::string socket_path;
+  std::string pidfile_path;
+  /// Empty disables journaling.
+  std::string journal_path;
+  /// Solver pool threads (0 = hardware concurrency).
+  std::size_t threads = 0;
+  /// Concurrent running solves (broker executors).
+  std::size_t executors = 2;
+  /// Admission queue bound (beyond-running backlog before shedding).
+  std::size_t max_queue = 16;
+  /// Concurrent client connections before new ones are shed.
+  std::size_t max_connections = 32;
+  double default_time_limit = std::numeric_limits<double>::infinity();
+  double max_time_limit = std::numeric_limits<double>::infinity();
+  WatchdogConfig watchdog;
+};
+
+/// Load-once, share-forever graph cache.  Loads are serialized per store
+/// (one mutex): concurrent first requests for one graph wait rather than
+/// duplicating a multi-second parse.
+class GraphStore {
+ public:
+  /// Returns the cached graph for `spec`, loading (and caching) it on
+  /// first use.  Throws classified Errors on load failure.
+  std::shared_ptr<const cli::LoadedGraph> get(const std::string& spec);
+
+  std::size_t size() const;
+
+ private:
+  mutable Mutex mutex_;
+  std::map<std::string, std::shared_ptr<const cli::LoadedGraph>> graphs_
+      LAZYMC_GUARDED_BY(mutex_);
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Runs the accept loop until a lifecycle event (stop/drain verb or
+  /// SIGTERM/SIGINT) completes shutdown.  Returns the process exit code
+  /// (0 for every supervised shutdown path).
+  int run();
+
+ private:
+  ServerConfig config_;
+};
+
+}  // namespace lazymc::daemon

@@ -1,0 +1,65 @@
+#include "daemon/watchdog.hpp"
+
+#include <chrono>
+
+#include "daemon/broker.hpp"
+#include "support/control.hpp"
+
+namespace lazymc::daemon {
+
+Watchdog::Watchdog(RequestBroker& broker, WatchdogConfig config)
+    : broker_(broker), config_(config) {
+  thread_ = std::thread([this] { loop(); });
+}
+
+Watchdog::~Watchdog() {
+  {
+    MutexLock lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void Watchdog::loop() {
+  const auto interval = std::chrono::duration<double>(
+      config_.interval_seconds > 0 ? config_.interval_seconds : 0.25);
+  for (;;) {
+    {
+      MutexLock lock(mutex_);
+      // A spurious wakeup just means an early scan — no predicate loop
+      // needed around the timed wait.
+      if (!stopping_) cv_.wait_for(lock.native(), interval);
+      if (stopping_) return;
+    }
+
+    for (const auto& ticket : broker_.live()) {
+      const SolveControl& control = ticket->control();
+
+      // Runaway: past deadline + grace and not yet cancelled — force the
+      // cancel so every cooperative stop check trips on its fast path.
+      if (!control.cancelled() &&
+          control.elapsed() > control.time_limit() + config_.grace_seconds) {
+        control.cancel(StopCause::kDeadline);
+        cancels_.fetch_add(1, std::memory_order_relaxed);
+      }
+
+      // Stall: cancelled, yet the heartbeat (slow-path check counter) has
+      // stopped advancing — the workers are wedged somewhere that never
+      // consults the control.  Report once per ticket.
+      if (control.cancelled() && !ticket->done()) {
+        const std::uint64_t beat = control.heartbeats();
+        if (beat != ticket->watchdog_last_heartbeat) {
+          ticket->watchdog_last_heartbeat = beat;
+          ticket->watchdog_flat_scans = 0;
+        } else if (!ticket->watchdog_stall_reported &&
+                   ++ticket->watchdog_flat_scans >= config_.stall_scans) {
+          ticket->watchdog_stall_reported = true;
+          stalls_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace lazymc::daemon

@@ -1,0 +1,80 @@
+// Watchdog: the daemon's supervision thread.
+//
+// Cooperative cancellation only works when the cancellee keeps checking
+// its SolveControl.  The watchdog covers the two failure modes that break
+// that assumption:
+//
+//  * runaway solves — a request past its deadline whose workers have not
+//    yet observed it (or whose solve entered a phase with sparse stop
+//    checks).  After a grace period beyond the deadline the watchdog
+//    cancels the control with StopCause::kDeadline, which every stop
+//    check in the solver observes on its fast path.
+//  * stalled solves — a cancelled request whose heartbeat counter (bumped
+//    by SolveControl's slow-path checks) stops advancing between scans:
+//    the workers are wedged somewhere non-cooperative.  The watchdog
+//    cannot safely kill threads, so it reports the stall (once per
+//    ticket, counted for the health endpoint) and leaves the executor
+//    parked — bounded-admission keeps the rest of the daemon serving.
+//
+// One watchdog thread scans RequestBroker::live() at a fixed interval;
+// per-ticket scratch (last seen heartbeat, stall-reported latch) lives on
+// the ticket and is touched only by this thread.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <thread>
+
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace lazymc::daemon {
+
+class RequestBroker;
+
+struct WatchdogConfig {
+  /// Scan period (seconds).
+  double interval_seconds = 0.25;
+  /// Slack beyond a request's deadline before the watchdog force-cancels
+  /// (covers benign scheduling delay between deadline and the next
+  /// cooperative check).
+  double grace_seconds = 1.0;
+  /// Scans a cancelled-but-still-running ticket may go without heartbeat
+  /// progress before it is declared stalled.
+  std::uint64_t stall_scans = 8;
+};
+
+class Watchdog {
+ public:
+  Watchdog(RequestBroker& broker, WatchdogConfig config);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Deadline force-cancels issued so far.
+  std::uint64_t cancels() const {
+    return cancels_.load(std::memory_order_relaxed);
+  }
+  /// Stalled (cancelled, heartbeat-flat) tickets detected so far.
+  std::uint64_t stalls() const {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void loop();
+
+  RequestBroker& broker_;
+  const WatchdogConfig config_;
+
+  std::atomic<std::uint64_t> cancels_{0};
+  std::atomic<std::uint64_t> stalls_{0};
+
+  Mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ LAZYMC_GUARDED_BY(mutex_) = false;
+  std::thread thread_;
+};
+
+}  // namespace lazymc::daemon

@@ -54,7 +54,11 @@ LazyMCResult lazy_mc(const Graph& g, const LazyMCConfig& config) {
   result.search.simd_tier = simd::tier_name(simd::current_tier());
   if (g.num_vertices() == 0) return result;
 
-  SolveControl control(config.time_limit_seconds);
+  // Per-request isolation: a caller-owned control (daemon request) wins
+  // over a solve-local one.  Everything below takes the reference, so the
+  // solve is oblivious to who owns its lifecycle.
+  SolveControl own_control(config.time_limit_seconds);
+  SolveControl& control = config.control ? *config.control : own_control;
   SearchStats stats;  // declared early: kernel counters span all phases
   IntersectPolicy policy{config.early_exit_intersections, config.second_exit};
   policy.counters = &stats.kernels;

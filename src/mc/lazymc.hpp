@@ -21,6 +21,7 @@
 #include "graph/graph.hpp"
 #include "lazygraph/lazy_graph.hpp"
 #include "mc/neighbor_search.hpp"
+#include "support/control.hpp"
 #include "support/simd.hpp"
 
 namespace lazymc::mc {
@@ -96,6 +97,16 @@ struct LazyMCConfig {
   std::optional<simd::Tier> kernel_tier;
   /// Wall-clock limit in seconds (Table II uses 1800 in the paper).
   double time_limit_seconds = std::numeric_limits<double>::infinity();
+  /// Caller-owned request control.  When set, the solve observes *this*
+  /// control for cancellation/deadline instead of constructing its own
+  /// (time_limit_seconds is then ignored — the control carries the
+  /// budget), and the caller keeps a handle to cancel the in-flight
+  /// solve (watchdog, client abort, drain) and to classify how it ended
+  /// (SolveControl::stop_cause()).  This is the per-request isolation
+  /// seam the daemon multiplexes on: one control, one incumbent, one
+  /// stats block per request, nothing shared but the pool.  Must outlive
+  /// the lazy_mc call.
+  SolveControl* control = nullptr;
 };
 
 /// Per-phase wall-clock seconds (Fig. 2 / Fig. 7 stacks).

@@ -5,9 +5,28 @@
 // thousand nodes and unwind cleanly, reporting best-so-far plus a
 // timed_out flag, which lets the benchmark harness reproduce timeout
 // behaviour without killing processes.
+//
+// Per-request isolation (daemon substrate): a SolveControl is the unit of
+// request lifecycle ownership.  Each concurrent solve owns one, and three
+// independent inputs can stop it:
+//
+//   * its own deadline (time_limit_seconds, measured from construction);
+//   * an explicit cancel() from any thread holding the control — the
+//     watchdog, a faulted worker, or a client-driven abort;
+//   * an *interrupt source*: a caller-chosen atomic flag, by default the
+//     process-global SIGINT/SIGTERM flag below.  The global flag is one
+//     input among the per-request ones, not a hard-wired dependency — a
+//     daemon drains every in-flight request through it while tests (and
+//     future transports) can point a request at a private flag, or at
+//     none.
+//
+// The first cause to fire is recorded (stop_cause()) so the reporting
+// layer can distinguish "deadline expired" from "cancelled" from
+// "process interrupted" without guessing from global state.
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <limits>
 
 #include "support/timer.hpp"
@@ -19,8 +38,9 @@ namespace interrupt {
 /// Process-wide cooperative interrupt flag (SIGINT/SIGTERM).  request()
 /// is a single relaxed store on a constant-initialized atomic, so the
 /// CLI's signal handler may call it directly (async-signal-safe).
-/// Every SolveControl observes the flag, so one signal cancels whatever
-/// solve is in flight and the run still reports best-so-far.
+/// SolveControls observe the flag through their interrupt source (the
+/// default), so one signal cancels every solve in flight and each run
+/// still reports best-so-far.
 inline constinit std::atomic<bool> g_requested{false};
 
 inline void request() noexcept {
@@ -35,11 +55,41 @@ inline void clear() noexcept {
 
 }  // namespace interrupt
 
+/// Why a SolveControl stopped (first cause wins).
+enum class StopCause : int {
+  kNone = 0,
+  /// The control's own wall-clock budget expired (cooperatively observed
+  /// or enforced by a watchdog).
+  kDeadline = 1,
+  /// Explicit cancel() without a stated cause: a faulted worker draining
+  /// its peers, a client abort, a shed request.
+  kCancelled = 2,
+  /// The interrupt source fired (SIGINT/SIGTERM drain by default).
+  kInterrupted = 3,
+};
+
+inline const char* stop_cause_name(StopCause cause) {
+  switch (cause) {
+    case StopCause::kNone: return "none";
+    case StopCause::kDeadline: return "deadline";
+    case StopCause::kCancelled: return "cancelled";
+    case StopCause::kInterrupted: return "interrupted";
+  }
+  return "?";
+}
+
 class SolveControl {
  public:
   SolveControl() = default;
   explicit SolveControl(double time_limit_seconds)
       : time_limit_(time_limit_seconds) {}
+
+  /// Redirects the interrupt input to `flag` (nullptr = ignore process
+  /// interrupts entirely).  Call before the solve starts sharing the
+  /// control with workers; the pointer must outlive the control's use.
+  void set_interrupt_source(const std::atomic<bool>* flag) {
+    interrupt_source_ = flag;
+  }
 
   /// Cheap check; reads the wall clock on the first call and then every
   /// kCheckInterval calls.  Thread-safe: each caller passes its own
@@ -47,8 +97,17 @@ class SolveControl {
   bool should_stop(std::uint64_t& local_counter) const {
     if (cancelled_.load(std::memory_order_relaxed)) return true;
     if ((++local_counter & (kCheckInterval - 1)) != 1) return false;
-    if (interrupt::requested() || timer_.elapsed() > time_limit_) {
-      cancelled_.store(true, std::memory_order_relaxed);
+    // Liveness heartbeat: one relaxed add per slow-path check.  A watchdog
+    // that sees the heartbeat stand still while the request runs knows the
+    // workers are wedged somewhere non-cooperative.
+    heartbeats_.fetch_add(1, std::memory_order_relaxed);
+    if (interrupt_source_ &&
+        interrupt_source_->load(std::memory_order_relaxed)) {
+      cancel(StopCause::kInterrupted);
+      return true;
+    }
+    if (timer_.elapsed() > time_limit_) {
+      cancel(StopCause::kDeadline);
       return true;
     }
     return false;
@@ -56,11 +115,44 @@ class SolveControl {
 
   bool cancelled() const {
     return cancelled_.load(std::memory_order_relaxed) ||
-           interrupt::requested();
+           (interrupt_source_ &&
+            interrupt_source_->load(std::memory_order_relaxed));
   }
+
   /// const: any holder of the shared control may cancel (a worker that
-  /// hit an unrecoverable error, the signal path, the time limit).
-  void cancel() const { cancelled_.store(true, std::memory_order_relaxed); }
+  /// hit an unrecoverable error, the watchdog, the signal path, the time
+  /// limit).  The first recorded cause sticks.
+  void cancel(StopCause cause = StopCause::kCancelled) const {
+    int expected = static_cast<int>(StopCause::kNone);
+    cause_.compare_exchange_strong(expected, static_cast<int>(cause),
+                                   std::memory_order_relaxed,
+                                   std::memory_order_relaxed);
+    cancelled_.store(true, std::memory_order_relaxed);
+  }
+
+  /// The first cause that stopped this control.  When the interrupt
+  /// source fired but no cooperative check has observed it yet, reports
+  /// kInterrupted (so post-solve classification never misses a signal
+  /// that raced the final check).
+  StopCause stop_cause() const {
+    const int cause = cause_.load(std::memory_order_relaxed);
+    if (cause != static_cast<int>(StopCause::kNone)) {
+      return static_cast<StopCause>(cause);
+    }
+    if (interrupt_source_ &&
+        interrupt_source_->load(std::memory_order_relaxed)) {
+      return StopCause::kInterrupted;
+    }
+    return StopCause::kNone;
+  }
+
+  bool interrupted() const { return stop_cause() == StopCause::kInterrupted; }
+
+  /// Slow-path check count across all workers; advances while the solve
+  /// makes cooperative progress (stall detection input).
+  std::uint64_t heartbeats() const {
+    return heartbeats_.load(std::memory_order_relaxed);
+  }
 
   double elapsed() const { return timer_.elapsed(); }
   double time_limit() const { return time_limit_; }
@@ -69,8 +161,11 @@ class SolveControl {
   static constexpr std::uint64_t kCheckInterval = 4096;
 
   double time_limit_ = std::numeric_limits<double>::infinity();
+  const std::atomic<bool>* interrupt_source_ = &interrupt::g_requested;
   WallTimer timer_;
   mutable std::atomic<bool> cancelled_{false};
+  mutable std::atomic<int> cause_{static_cast<int>(StopCause::kNone)};
+  mutable std::atomic<std::uint64_t> heartbeats_{0};
 };
 
 }  // namespace lazymc

@@ -26,6 +26,12 @@ enum class ErrorKind {
   /// The run was cancelled by SIGINT/SIGTERM.  Not transient; the caller
   /// stops the sweep instead of retrying.
   kInterrupted,
+  /// Load shedding: the daemon's admission queue is full (or it is
+  /// draining), so the request was rejected *before* any work started.
+  /// Transient by design — the structured rejection is what lets a
+  /// client back off and retry instead of piling onto a saturated
+  /// server.
+  kOverloaded,
 };
 
 inline const char* error_kind_name(ErrorKind kind) {
@@ -34,13 +40,15 @@ inline const char* error_kind_name(ErrorKind kind) {
     case ErrorKind::kResource: return "resource";
     case ErrorKind::kInternal: return "internal";
     case ErrorKind::kInterrupted: return "interrupted";
+    case ErrorKind::kOverloaded: return "overloaded";
   }
   return "?";
 }
 
-/// Whether a failure of this kind is worth retrying (--retries).
+/// Whether a failure of this kind is worth retrying (--retries, or a
+/// daemon client backing off a shed request).
 inline bool error_kind_transient(ErrorKind kind) {
-  return kind == ErrorKind::kResource;
+  return kind == ErrorKind::kResource || kind == ErrorKind::kOverloaded;
 }
 
 /// An exception carrying its classification (and the OS errno when one

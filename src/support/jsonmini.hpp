@@ -1,0 +1,90 @@
+// Minimal field extraction from one-line flat JSON objects.
+//
+// The repo's own emitters (JsonWriter) produce compact, one-object-per-
+// line JSON with no whitespace around separators; the batch journal, the
+// daemon protocol, and lazymc-ctl all need to read a handful of fields
+// back out of such lines without a general JSON parser.  These helpers
+// scan for `"key":` and decode the value in place.  They understand
+// exactly what JsonWriter emits — strings with its escape set, integer
+// and decimal numbers, booleans — which is the whole wire format.
+//
+// Limitations (by design): a key that also appears inside a *string
+// value* earlier in the line could be matched first; our keys (spec,
+// verb, status, omega, ...) never appear in value positions in these
+// streams.  Nested objects are handled only in that a key lookup finds
+// the first occurrence anywhere in the line.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace lazymc {
+
+/// Extracts and unescapes the string value of `"key":"..."`.  Returns
+/// false when the key is absent or the value is not a string.
+inline bool json_get_string(const std::string& line, const std::string& key,
+                            std::string& out) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  out.clear();
+  for (std::size_t i = at + needle.size(); i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '"') return true;
+    if (c != '\\') {
+      out.push_back(c);
+      continue;
+    }
+    if (++i >= line.size()) break;
+    switch (line[i]) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case 'n': out.push_back('\n'); break;
+      case 't': out.push_back('\t'); break;
+      case 'u': {
+        if (i + 4 >= line.size()) return false;
+        const std::string hex = line.substr(i + 1, 4);
+        out.push_back(static_cast<char>(std::stoi(hex, nullptr, 16)));
+        i += 4;
+        break;
+      }
+      default: return false;
+    }
+  }
+  return false;  // unterminated string
+}
+
+/// Extracts the numeric value of `"key":N` (integer or decimal).
+/// Returns false when the key is absent or not followed by a number.
+inline bool json_get_number(const std::string& line, const std::string& key,
+                            double& out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  const char* start = line.c_str() + at + needle.size();
+  char* end = nullptr;
+  const double value = std::strtod(start, &end);
+  if (end == start) return false;
+  out = value;
+  return true;
+}
+
+/// Extracts the boolean value of `"key":true|false`.
+inline bool json_get_bool(const std::string& line, const std::string& key,
+                          bool& out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  const std::size_t v = at + needle.size();
+  if (line.compare(v, 4, "true") == 0) {
+    out = true;
+    return true;
+  }
+  if (line.compare(v, 5, "false") == 0) {
+    out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace lazymc

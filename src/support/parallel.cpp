@@ -66,6 +66,12 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
 }
 
 void ThreadPool::run_job(detail::JobBase& job) {
+  // Launcher gate: concurrent external launchers (e.g. daemon request
+  // executors) serialize here, so the single current_job_ slot and the
+  // workers_done_ count only ever describe one job at a time.  The gate
+  // is held through the join below; the caller participates in its own
+  // job, so a waiting launcher costs nothing but its own latency.
+  MutexLock launch(launch_mutex_);
   {
     MutexLock lock(mutex_);
     current_job_ = &job;
@@ -74,8 +80,13 @@ void ThreadPool::run_job(detail::JobBase& job) {
   }
   cv_start_.notify_all();
 
-  // The caller participates as participant 0.
+  // The caller participates as participant 0.  While it runs its share it
+  // is "inside" the pool exactly like a worker: a nested launch from the
+  // job body must take the inline path, not re-enter this gate.
+  ThreadPool* const enclosing = g_current_pool;
+  g_current_pool = this;
   job.run(job, 0);
+  g_current_pool = enclosing;
 
   {
     MutexLock lock(mutex_);

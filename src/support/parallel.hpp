@@ -182,12 +182,17 @@ struct InvokeAllJob final : JobBase {
 /// A fork-join thread pool.  One global instance (see `thread_pool()`) is
 /// shared by the whole library; tests may construct private pools.
 ///
-/// Launch discipline: at most one external (non-worker) thread may launch
-/// jobs on a given pool at a time — the epoch-based job publication has a
-/// single launcher slot.  Calls *from inside a worker* are always safe
-/// (they run inline, see the nested-parallelism rule).  The library
-/// honours this by running one parallel phase at a time; concurrent
-/// launchers must provide their own serialization or use separate pools.
+/// Launch discipline: any number of external (non-worker) threads may
+/// launch jobs concurrently — the epoch-based publication still has a
+/// single launcher slot, so launchers serialize on an internal gate and
+/// each job runs to completion before the next is published.  This is
+/// what lets a resident daemon multiplex concurrent solve requests onto
+/// one pool: requests interleave at job granularity (a parallel phase or
+/// a queue drain each being one job), and a request blocked behind a
+/// long drain stays cancellable through its own SolveControl, which the
+/// draining job's stop predicate polls.  Calls *from inside a worker*
+/// never take the gate (they run inline, see the nested-parallelism
+/// rule), so worker-side nesting cannot deadlock against it.
 class ThreadPool {
  public:
   /// Creates a pool running `num_threads` workers (0 = hardware concurrency).
@@ -243,6 +248,9 @@ class ThreadPool {
   void run_job(detail::JobBase& job);
 
   std::vector<std::thread> threads_;
+  /// Serializes external launchers (held across one entire job, from
+  /// publication to join).  Ordered strictly before mutex_.
+  Mutex launch_mutex_;
   Mutex mutex_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;

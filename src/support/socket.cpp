@@ -1,0 +1,162 @@
+#include "support/socket.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace lazymc::net {
+namespace {
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw Error(ErrorKind::kInput,
+                "socket path '" + path + "' exceeds the sun_path limit (" +
+                    std::to_string(sizeof(addr.sun_path) - 1) + " bytes)");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+UnixListener::UnixListener(const std::string& path, int backlog)
+    : path_(path) {
+  const sockaddr_un addr = make_addr(path);
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) {
+    throw Error(ErrorKind::kInput, "socket() failed", errno);
+  }
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const int saved = errno;
+    std::string hint =
+        saved == EADDRINUSE
+            ? " (another daemon may own it; stale sockets are removed "
+              "automatically only after a stale-pidfile check)"
+            : "";
+    throw Error(ErrorKind::kInput,
+                "cannot bind '" + path + "'" + hint, saved);
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    throw Error(ErrorKind::kInput, "listen on '" + path + "' failed", errno);
+  }
+  fd_ = std::move(fd);
+}
+
+UnixListener::~UnixListener() {
+  fd_.reset();
+  ::unlink(path_.c_str());  // best effort
+}
+
+Fd UnixListener::accept(int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd_.get();
+  pfd.events = POLLIN;
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return Fd();  // signal: caller re-checks flags
+    throw Error(ErrorKind::kInput, "poll on listener failed", errno);
+  }
+  if (ready == 0) return Fd();  // timeout
+  const int client = ::accept(fd_.get(), nullptr, nullptr);
+  if (client < 0) {
+    // Transient accept failures (the client went away between poll and
+    // accept, fd pressure) are not fatal to the daemon.
+    if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+        errno == EMFILE || errno == ENFILE) {
+      return Fd();
+    }
+    throw Error(ErrorKind::kInput, "accept failed", errno);
+  }
+  return Fd(client);
+}
+
+Fd unix_connect(const std::string& path) {
+  const sockaddr_un addr = make_addr(path);
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) {
+    throw Error(ErrorKind::kInput, "socket() failed", errno);
+  }
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    throw Error(ErrorKind::kInput,
+                "cannot connect to daemon socket '" + path +
+                    "' (is lazymcd running?)",
+                errno);
+  }
+  return fd;
+}
+
+LineChannel::ReadStatus LineChannel::read_line(std::string& out,
+                                               int timeout_ms) {
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      out.assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      return ReadStatus::kLine;
+    }
+    if (timeout_ms >= 0) {
+      pollfd pfd{};
+      pfd.fd = fd_;
+      pfd.events = POLLIN;
+      const int ready = ::poll(&pfd, 1, timeout_ms);
+      if (ready < 0) {
+        if (errno == EINTR) return ReadStatus::kTimeout;
+        throw Error(ErrorKind::kInput, "poll on connection failed", errno);
+      }
+      if (ready == 0) return ReadStatus::kTimeout;
+    }
+    char chunk[4096];
+    const ::ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(ErrorKind::kInput, "read from connection failed", errno);
+    }
+    if (n == 0) {
+      // EOF: a final unterminated line is surfaced once, then EOF.
+      if (!buffer_.empty()) {
+        out = std::move(buffer_);
+        buffer_.clear();
+        return ReadStatus::kLine;
+      }
+      return ReadStatus::kEof;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void LineChannel::write_line(const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    // MSG_NOSIGNAL: a vanished peer surfaces as EPIPE, not a process-
+    // killing SIGPIPE — one misbehaving client must never take down the
+    // daemon.
+    const ::ssize_t n = ::send(fd_, framed.data() + off, framed.size() - off,
+                               MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(ErrorKind::kInput, "write to connection failed", errno);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace lazymc::net

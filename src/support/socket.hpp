@@ -1,0 +1,98 @@
+// Unix-domain-socket helpers for the lazymcd daemon and lazymc-ctl.
+//
+// Thin RAII wrappers over the POSIX API, shaped for a newline-delimited
+// JSON protocol: a listener with poll()-based timed accepts (so the
+// accept loop can observe drain/reload flags between clients), a
+// connector, and a buffered line channel with timed reads (so a
+// connection thread blocked on a slow client still notices a drain).
+// Errors carry errno through the structured Error type; EOF and timeout
+// are ordinary return values, not errors.
+#pragma once
+
+#include <string>
+
+namespace lazymc::net {
+
+/// Move-only owning file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int get() const { return fd_; }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A bound, listening Unix-domain socket.  The socket file is unlinked on
+/// destruction (best effort) — the daemon owns its socket path the way it
+/// owns its pidfile.
+class UnixListener {
+ public:
+  /// Binds and listens on `path`.  Throws Error(kInput, errno) on
+  /// failure; EADDRINUSE is reported with a hint about stale daemons
+  /// (the lifecycle layer removes stale sockets after the pidfile check,
+  /// so reaching this error means a live daemon probably owns the path).
+  explicit UnixListener(const std::string& path, int backlog = 64);
+  ~UnixListener();
+
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  /// Waits up to `timeout_ms` for a connection.  Returns an invalid Fd on
+  /// timeout or EINTR (the caller re-checks its lifecycle flags and calls
+  /// again); throws Error on unrecoverable accept failures.
+  Fd accept(int timeout_ms);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  Fd fd_;
+};
+
+/// Connects to the daemon socket at `path`.  Throws Error(kInput, errno)
+/// when the daemon is not there (connection refused / no such file).
+Fd unix_connect(const std::string& path);
+
+/// Buffered newline-delimited reader/writer over a connected socket.
+class LineChannel {
+ public:
+  enum class ReadStatus { kLine, kEof, kTimeout };
+
+  /// Does not own `fd`; the caller keeps the Fd alive for the channel's
+  /// lifetime.
+  explicit LineChannel(int fd) : fd_(fd) {}
+
+  /// Reads one '\n'-terminated line (terminator stripped).  With
+  /// `timeout_ms` >= 0, waits at most that long for *new* data before
+  /// returning kTimeout (already-buffered lines are returned
+  /// immediately); -1 blocks.  Throws Error(kInput, errno) on socket
+  /// errors.
+  ReadStatus read_line(std::string& out, int timeout_ms = -1);
+
+  /// Writes `line` plus '\n' in full.  Throws Error(kInput, errno) on
+  /// socket errors (including EPIPE when the peer vanished).
+  void write_line(const std::string& line);
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+}  // namespace lazymc::net

@@ -7,6 +7,8 @@
 
 #include "graph/builder.hpp"
 #include "graph/io.hpp"
+#include "support/control.hpp"
+#include "support/error.hpp"
 
 namespace lazymc {
 namespace {
@@ -101,6 +103,50 @@ TEST(IoFiles, AutoDetectAndFileRoundTrip) {
 TEST(IoFiles, MissingFileThrows) {
   EXPECT_THROW(io::read_graph_file("/nonexistent/path/graph.txt"),
                std::runtime_error);
+}
+
+// A pending SIGINT/SIGTERM must abort a long parse promptly (the readers
+// poll the interrupt flag every few thousand lines), not after the whole
+// file has been consumed.
+TEST(IoInterrupt, EdgeListLoadObservesPendingInterrupt) {
+  std::ostringstream big;
+  for (int i = 0; i < 20000; ++i) big << i << " " << (i + 1) << "\n";
+  interrupt::request();
+  std::istringstream in(big.str());
+  try {
+    io::read_edge_list(in);
+    interrupt::clear();
+    FAIL() << "expected Error(kInterrupted)";
+  } catch (const Error& e) {
+    interrupt::clear();
+    EXPECT_EQ(e.kind(), ErrorKind::kInterrupted);
+  }
+}
+
+TEST(IoInterrupt, DimacsLoadObservesPendingInterrupt) {
+  std::ostringstream big;
+  big << "p edge 20001 20000\n";
+  for (int i = 1; i <= 20000; ++i) big << "e " << i << " " << (i + 1) << "\n";
+  interrupt::request();
+  std::istringstream in(big.str());
+  try {
+    io::read_dimacs(in);
+    interrupt::clear();
+    FAIL() << "expected Error(kInterrupted)";
+  } catch (const Error& e) {
+    interrupt::clear();
+    EXPECT_EQ(e.kind(), ErrorKind::kInterrupted);
+  }
+}
+
+TEST(IoInterrupt, ShortLoadsIgnoreTheStride) {
+  // Under the poll stride no check fires: tiny graphs always load, even
+  // with a pending interrupt (the solve's own control observes it next).
+  interrupt::request();
+  std::istringstream in("0 1\n1 2\n");
+  Graph g = io::read_edge_list(in);
+  interrupt::clear();
+  EXPECT_EQ(g.num_edges(), 2u);
 }
 
 }  // namespace
