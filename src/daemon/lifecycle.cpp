@@ -1,6 +1,8 @@
 #include "daemon/lifecycle.hpp"
 
+#include <fcntl.h>
 #include <signal.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -39,35 +41,75 @@ void install_daemon_signal_handlers() {
 
 Pidfile::Pidfile(const std::string& path, const std::string& stale_socket)
     : path_(path) {
+  // Open without truncating (the file may belong to a live instance
+  // until the flock says otherwise), then race for the exclusive lock.
+  // The lock is held for the daemon's lifetime, so of two simultaneously
+  // started daemons exactly one proceeds past this point — the loser can
+  // never pass a stale check and unlink the winner's socket.
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    throw Error(ErrorKind::kInput, "cannot open pidfile '" + path_ + "'",
+                errno);
+  }
+  if (::flock(fd_, LOCK_EX | LOCK_NB) != 0) {
+    const int saved_errno = errno;
+    const pid_t holder = read_pidfile(path_);
+    ::close(fd_);
+    fd_ = -1;
+    throw Error(ErrorKind::kInput,
+                "lazymcd already running (pid " + std::to_string(holder) +
+                    ", pidfile '" + path_ + "')",
+                saved_errno == EWOULDBLOCK ? 0 : saved_errno);
+  }
+
+  // Stale check, re-run under the lock: any pid recorded here belongs to
+  // an instance that no longer holds the lock.  Probe it anyway in case
+  // it predates the lock scheme — kill(pid, 0) delivers no signal; ESRCH
+  // means gone, EPERM means alive under another uid (still a live
+  // owner).
   const pid_t existing = read_pidfile(path_);
-  if (existing > 0) {
-    // kill(pid, 0): existence probe, no signal delivered.  ESRCH means
-    // the recorded instance is gone; EPERM means it exists under another
-    // uid — still a live owner, refuse.
+  if (existing > 0 && existing != ::getpid()) {
     if (::kill(existing, 0) == 0 || errno == EPERM) {
+      ::close(fd_);
+      fd_ = -1;
       throw Error(ErrorKind::kInput,
                   "lazymcd already running (pid " + std::to_string(existing) +
                       ", pidfile '" + path_ + "')");
     }
-    // Stale: the previous instance died without cleanup (crash, kill
-    // -9).  Reclaim its pidfile and socket so the restart proceeds.
-    ::unlink(path_.c_str());
+    // The previous instance died without cleanup (crash, kill -9).
+    // Reclaim its socket so the restart's bind() proceeds; we overwrite
+    // the pidfile in place below.
     if (!stale_socket.empty()) ::unlink(stale_socket.c_str());
     recovered_stale_ = true;
   }
 
-  std::ofstream out(path_, std::ios::trunc);
-  if (!out) {
-    throw Error(ErrorKind::kInput, "cannot write pidfile '" + path_ + "'",
-                errno);
+  const std::string pid_line = std::to_string(::getpid()) + "\n";
+  bool written = ::ftruncate(fd_, 0) == 0 && ::lseek(fd_, 0, SEEK_SET) == 0;
+  if (written) {
+    std::size_t off = 0;
+    while (off < pid_line.size()) {
+      const ::ssize_t n =
+          ::write(fd_, pid_line.data() + off, pid_line.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        written = false;
+        break;
+      }
+      off += static_cast<std::size_t>(n);
+    }
   }
-  out << ::getpid() << '\n';
-  out.flush();
-  if (!out) {
-    throw Error(ErrorKind::kInput, "short write to pidfile '" + path_ + "'");
+  if (!written) {
+    const int saved_errno = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw Error(ErrorKind::kInput, "cannot write pidfile '" + path_ + "'",
+                saved_errno);
   }
 }
 
-Pidfile::~Pidfile() { ::unlink(path_.c_str()); }
+Pidfile::~Pidfile() {
+  ::unlink(path_.c_str());
+  if (fd_ >= 0) ::close(fd_);  // releases the flock last
+}
 
 }  // namespace lazymc::daemon

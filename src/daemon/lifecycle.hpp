@@ -2,15 +2,20 @@
 //
 // A resident service must fail cleanly across its own crashes.  The
 // pidfile protocol here follows the classic service-manager discipline
-// (cf. openrc's start-stop-daemon): at startup read any existing
-// pidfile, probe the recorded pid with kill(pid, 0), and
+// (cf. openrc's start-stop-daemon), made race-free with an exclusive
+// flock held for the daemon's lifetime: at startup open the pidfile,
+// try flock(LOCK_EX | LOCK_NB), and
 //
-//  * pid alive  -> refuse to start (structured kInput error; two daemons
-//                  on one socket is the unrecoverable state);
-//  * pid dead / file stale -> a previous instance crashed (kill -9,
-//                  OOM): remove the stale pidfile *and* the stale socket
-//                  it names, remember the recovery for the health
-//                  endpoint, and start normally.
+//  * lock held elsewhere -> a live instance owns it: refuse to start
+//                  (structured kInput error; two daemons on one socket
+//                  is the unrecoverable state);
+//  * lock won   -> re-run the stale check under the lock: a recorded,
+//                  still-live pid (an instance predating the lock
+//                  scheme) also refuses; a dead/absent pid means the
+//                  previous instance crashed (kill -9, OOM): remove the
+//                  stale socket it names, remember the recovery for the
+//                  health endpoint, rewrite the pidfile, and start
+//                  normally.
 //
 // Signals: SIGTERM/SIGINT request the drain-then-exit path through the
 // same process-global cooperative flag the CLI uses (every in-flight
@@ -43,7 +48,11 @@ inline bool consume_hup() noexcept { return g_hup.exchange(false); }
 /// defence behind MSG_NOSIGNAL.
 void install_daemon_signal_handlers();
 
-/// RAII pidfile ownership with stale-instance recovery.
+/// RAII pidfile ownership with stale-instance recovery.  Acquisition is
+/// atomic: the file is claimed with an exclusive flock held for the
+/// daemon's lifetime, so two simultaneously started daemons cannot both
+/// pass a stale-pid probe and clobber each other's pidfile or socket —
+/// exactly one wins the lock, the other fails structurally.
 class Pidfile {
  public:
   /// Acquires `path` for this process.  Throws Error(kInput) when a live
@@ -65,6 +74,7 @@ class Pidfile {
 
  private:
   std::string path_;
+  int fd_ = -1;  ///< held open (and flock'd) for the daemon's lifetime
   bool recovered_stale_ = false;
 };
 

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <iostream>
 #include <list>
 #include <sstream>
@@ -50,28 +51,60 @@ std::string chomp(std::string s) {
 
 std::shared_ptr<const cli::LoadedGraph> GraphStore::get(
     const std::string& spec) {
-  // One lock across the whole load: a second request for a graph that is
-  // mid-parse waits for the cache instead of parsing it again.
-  MutexLock lock(mutex_);
-  auto it = graphs_.find(spec);
-  if (it != graphs_.end()) return it->second;
-  std::shared_ptr<const cli::LoadedGraph> loaded;
-  try {
-    loaded = std::make_shared<const cli::LoadedGraph>(cli::load_graph(spec));
-  } catch (const Error&) {
-    throw;
-  } catch (const std::bad_alloc&) {
-    throw Error(ErrorKind::kResource, "out of memory loading '" + spec + "'");
-  } catch (const std::exception& e) {
-    throw Error(ErrorKind::kInput, e.what(), errno);
+  // The lock only covers the map: the first requester publishes a future
+  // and parses outside the lock, so only requests for the *same* graph
+  // wait on the load while everything else (cached gets, size()) flows.
+  std::promise<std::shared_ptr<const cli::LoadedGraph>> promise;
+  Future future;
+  bool loader = false;
+  {
+    MutexLock lock(mutex_);
+    auto it = graphs_.find(spec);
+    if (it != graphs_.end()) {
+      future = it->second;
+    } else {
+      future = promise.get_future().share();
+      graphs_.emplace(spec, future);
+      loader = true;
+    }
   }
-  graphs_.emplace(spec, loaded);
-  return loaded;
+  if (!loader) return future.get();  // rethrows the loader's Error
+
+  Error failure(ErrorKind::kInternal, "");
+  try {
+    auto loaded =
+        std::make_shared<const cli::LoadedGraph>(cli::load_graph(spec));
+    promise.set_value(loaded);
+    return loaded;
+  } catch (const Error& e) {
+    failure = e;
+  } catch (const std::bad_alloc&) {
+    failure = Error(ErrorKind::kResource, "out of memory loading '" + spec + "'");
+  } catch (const std::exception& e) {
+    failure = Error(ErrorKind::kInput, e.what(), errno);
+  }
+  {
+    // Forget the failed load first so a request arriving after the
+    // waiters were failed starts a fresh attempt.
+    MutexLock lock(mutex_);
+    graphs_.erase(spec);
+  }
+  promise.set_exception(std::make_exception_ptr(failure));
+  throw failure;
 }
 
 std::size_t GraphStore::size() const {
   MutexLock lock(mutex_);
-  return graphs_.size();
+  std::size_t ready = 0;
+  for (const auto& entry : graphs_) {
+    // Entries are in-flight or successfully loaded (failures are erased
+    // before their waiters are failed), so ready means loaded.
+    if (entry.second.wait_for(std::chrono::seconds(0)) ==
+        std::future_status::ready) {
+      ++ready;
+    }
+  }
+  return ready;
 }
 
 Server::Server(ServerConfig config) : config_(std::move(config)) {}
@@ -259,7 +292,13 @@ struct Daemon {
       } catch (...) {
         const Error err = classify_current_exception();
         std::string id;
-        json_get_string(line, "id", id);  // best effort for the envelope
+        try {
+          json_get_string(line, "id", id);  // best effort for the envelope
+        } catch (...) {
+          // Nothing parsed from a hostile line may escape this thread:
+          // an uncaught exception here would std::terminate the daemon.
+          id.clear();
+        }
         response = error_response(id, err.kind(), err.what(),
                                   err.sys_errno());
       }
@@ -287,9 +326,10 @@ int Server::run() {
   if (d.journal.enabled()) {
     try {
       d.journal_recovered = d.journal.completed().size();
-    } catch (const Error& e) {
-      // A torn journal (power loss mid-line) must not block restart; the
-      // journal is an audit trail, not a correctness dependency.
+    } catch (const std::exception& e) {
+      // A torn journal (power loss mid-line) must not block restart, no
+      // matter how it is corrupted; the journal is an audit trail, not a
+      // correctness dependency.
       std::cerr << "lazymcd: ignoring unreadable journal: " << e.what()
                 << "\n";
     }

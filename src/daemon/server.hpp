@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <future>
 #include <limits>
 #include <map>
 #include <memory>
@@ -62,21 +63,27 @@ struct ServerConfig {
   WatchdogConfig watchdog;
 };
 
-/// Load-once, share-forever graph cache.  Loads are serialized per store
-/// (one mutex): concurrent first requests for one graph wait rather than
-/// duplicating a multi-second parse.
+/// Load-once, share-forever graph cache.  The store mutex only guards
+/// the spec -> future map, never a parse: the first request for a graph
+/// publishes a shared_future under the lock and loads outside it, so
+/// concurrent requests for the *same* graph wait on that future while
+/// requests for cached graphs (and the status endpoint) stay responsive
+/// throughout a multi-gigabyte load.
 class GraphStore {
  public:
   /// Returns the cached graph for `spec`, loading (and caching) it on
-  /// first use.  Throws classified Errors on load failure.
+  /// first use.  Throws classified Errors on load failure; a failed load
+  /// is forgotten so a later request may retry it.
   std::shared_ptr<const cli::LoadedGraph> get(const std::string& spec);
 
+  /// Number of fully loaded graphs (in-flight loads are not counted).
   std::size_t size() const;
 
  private:
+  using Future = std::shared_future<std::shared_ptr<const cli::LoadedGraph>>;
+
   mutable Mutex mutex_;
-  std::map<std::string, std::shared_ptr<const cli::LoadedGraph>> graphs_
-      LAZYMC_GUARDED_BY(mutex_);
+  std::map<std::string, Future> graphs_ LAZYMC_GUARDED_BY(mutex_);
 };
 
 class Server {

@@ -21,7 +21,9 @@
 namespace lazymc {
 
 /// Extracts and unescapes the string value of `"key":"..."`.  Returns
-/// false when the key is absent or the value is not a string.
+/// false when the key is absent or the value is not a string.  Never
+/// throws on malformed input (these lines come from clients and from
+/// possibly-torn journal files): a bad escape returns false.
 inline bool json_get_string(const std::string& line, const std::string& key,
                             std::string& out) {
   const std::string needle = "\"" + key + "\":\"";
@@ -43,9 +45,36 @@ inline bool json_get_string(const std::string& line, const std::string& key,
       case 't': out.push_back('\t'); break;
       case 'u': {
         if (i + 4 >= line.size()) return false;
-        const std::string hex = line.substr(i + 1, 4);
-        out.push_back(static_cast<char>(std::stoi(hex, nullptr, 16)));
+        unsigned code = 0;
+        for (int k = 1; k <= 4; ++k) {
+          const char h = line[i + k];
+          unsigned digit = 0;
+          if (h >= '0' && h <= '9') {
+            digit = static_cast<unsigned>(h - '0');
+          } else if (h >= 'a' && h <= 'f') {
+            digit = static_cast<unsigned>(h - 'a') + 10;
+          } else if (h >= 'A' && h <= 'F') {
+            digit = static_cast<unsigned>(h - 'A') + 10;
+          } else {
+            return false;  // malformed escape on untrusted input
+          }
+          code = code * 16 + digit;
+        }
         i += 4;
+        // UTF-8-encode the BMP codepoint.  Surrogate halves never occur:
+        // JsonWriter only emits \u00XX for control characters, and
+        // anything else malformed enough to carry one decodes to an
+        // (invalid) 3-byte sequence rather than crashing the reader.
+        if (code < 0x80) {
+          out.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+          out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+          out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+          out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
         break;
       }
       default: return false;

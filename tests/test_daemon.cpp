@@ -12,9 +12,11 @@
 #include <condition_variable>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "daemon/broker.hpp"
 #include "daemon/lifecycle.hpp"
@@ -48,6 +50,30 @@ TEST(JsonMini, ExtractsStringsNumbersBools) {
   EXPECT_FALSE(b);
   EXPECT_FALSE(json_get_string(line, "missing", s));
   EXPECT_FALSE(json_get_number(line, "verb", d));
+}
+
+TEST(JsonMini, MalformedUnicodeEscapesReturnFalseInsteadOfThrowing) {
+  // A hostile client line like this used to throw std::invalid_argument
+  // out of std::stoi, escape the connection thread, and terminate the
+  // daemon.  Extraction must fail structurally instead.
+  std::string s;
+  EXPECT_FALSE(json_get_string(R"({"id":"a\uzzzz"})", "id", s));
+  EXPECT_FALSE(json_get_string(R"({"id":"a\u12g4"})", "id", s));
+  EXPECT_FALSE(json_get_string(R"({"id":"a\u12)", "id", s));   // truncated
+  EXPECT_FALSE(json_get_string(R"({"id":"a\q"})", "id", s));   // bad escape
+}
+
+TEST(JsonMini, DecodesUnicodeEscapesToUtf8) {
+  std::string s;
+  ASSERT_TRUE(json_get_string("{\"id\":\"\\u0041\\u0062\"}", "id", s));
+  EXPECT_EQ(s, "Ab");
+  ASSERT_TRUE(json_get_string("{\"id\":\"\\u0009\"}", "id", s));
+  EXPECT_EQ(s, "\t");
+  // Codepoints past 0x7F must not be truncated to a single char.
+  ASSERT_TRUE(json_get_string("{\"id\":\"\\u00E9\"}", "id", s));
+  EXPECT_EQ(s, "\xC3\xA9");  // U+00E9, e-acute
+  ASSERT_TRUE(json_get_string("{\"id\":\"\\u2713\"}", "id", s));
+  EXPECT_EQ(s, "\xE2\x9C\x93");  // U+2713, check mark
 }
 
 // ---------------------------------------------------------------- protocol
@@ -430,6 +456,27 @@ TEST(GraphStoreTest, PropagatesClassifiedLoadFailures) {
     EXPECT_EQ(e.kind(), ErrorKind::kInput);
   }
   EXPECT_EQ(store.size(), 0u);
+  // A failed load is forgotten, not cached: the same spec fails the same
+  // way on retry (and would succeed if e.g. the file appeared).
+  EXPECT_THROW(store.get("gen:not-a-generator"), Error);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(GraphStoreTest, ConcurrentFirstRequestsShareOneLoad) {
+  GraphStore store;
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const cli::LoadedGraph>> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back(
+        [&store, &results, t] { results[t] = store.get("gen:dblp:tiny"); });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(results[t].get(), results[0].get());
+  }
+  EXPECT_EQ(store.size(), 1u);
 }
 
 }  // namespace
