@@ -121,8 +121,13 @@ void solve_into(const Options& options, RunReport& report, const Graph& g) {
           break;
         case Rep::kBitset: config.neighborhood_rep = NeighborhoodRep::kBitset;
           break;
+        case Rep::kHybrid: config.neighborhood_rep = NeighborhoodRep::kHybrid;
+          break;
       }
       config.bitset_budget_bytes = options.bitset_budget_mb << 20;
+      config.hybrid_array_max =
+          static_cast<std::uint32_t>(options.hybrid_array_max);
+      config.hybrid_run_min_saving = options.hybrid_run_min_saving;
       config.pre_extraction_density = options.pre_extraction_density;
       switch (options.split) {
         case Split::kAuto: config.split_mode = mc::SplitMode::kAuto; break;

@@ -3,8 +3,10 @@
 // Usage:
 //   lazymc --graph <file|gen:name[:scale]> [--graph ...] [--manifest FILE]
 //          [--solver NAME] [--threads N] [--time-limit SECONDS]
-//          [--order coreness|peeling] [--rep auto|hash|sorted|bitset]
-//          [--bitset-budget-mb N] [--pre-density]
+//          [--order coreness|peeling]
+//          [--rep auto|hash|sorted|bitset|hybrid] [--bitset-budget-mb N]
+//          [--hybrid-array-max N] [--hybrid-run-min-saving X]
+//          [--pre-density]
 //          [--split auto|on|off] [--split-depth N] [--split-min-cands N]
 //          [--split-min-work N] [--kernels auto|scalar|avx2|avx512]
 //          [--json] [--journal FILE] [--resume] [--retries N]
@@ -38,7 +40,7 @@ enum class Order { kCorenessDegree, kPeeling };
 
 /// Lazy-graph neighborhood representation (lazymc solver only); mirrors
 /// lazymc::NeighborhoodRep.
-enum class Rep { kAuto, kHash, kSorted, kBitset };
+enum class Rep { kAuto, kHash, kSorted, kBitset, kHybrid };
 
 /// Subproblem-splitting mode (lazymc solver only); mirrors mc::SplitMode.
 enum class Split { kAuto, kOn, kOff };
@@ -57,7 +59,10 @@ struct Options {
   Solver solver = Solver::kLazyMc;
   Order order = Order::kCorenessDegree;
   Rep rep = Rep::kAuto;
-  std::size_t bitset_budget_mb = 64;  // 0 disables bitset rows
+  std::size_t bitset_budget_mb = 64;  // 0 disables bitset/hybrid rows
+  /// Hybrid-row container thresholds (--rep hybrid only).
+  std::size_t hybrid_array_max = 4096;
+  double hybrid_run_min_saving = 2.0;
   bool pre_extraction_density = false;
   Split split = Split::kAuto;
   std::size_t split_depth = 2;       // 0 disables splitting

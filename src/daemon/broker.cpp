@@ -48,7 +48,7 @@ RequestBroker::~RequestBroker() {
 
 std::shared_ptr<RequestTicket> RequestBroker::submit(
     const std::string& graph, double time_limit,
-    const std::string& client_id) {
+    const std::string& client_id, const std::string& rep) {
   // Effective budget: request's own (0 = daemon default), capped by the
   // configured maximum.
   double limit = time_limit > 0 ? time_limit : config_.default_time_limit;
@@ -75,7 +75,7 @@ std::shared_ptr<RequestTicket> RequestBroker::submit(
   }
 
   auto ticket = std::make_shared<RequestTicket>(next_id_++, client_id, graph,
-                                                limit);
+                                                limit, rep);
   queue_.push_back(ticket);
   live_.push_back(ticket);
   cv_work_.notify_one();

@@ -65,15 +65,18 @@ struct BrokerConfig {
 class RequestTicket {
  public:
   RequestTicket(std::uint64_t id, std::string client_id, std::string graph,
-                double time_limit)
+                double time_limit, std::string rep = {})
       : id_(id),
         client_id_(std::move(client_id)),
         graph_(std::move(graph)),
+        rep_(std::move(rep)),
         control_(time_limit) {}
 
   std::uint64_t id() const { return id_; }
   const std::string& client_id() const { return client_id_; }
   const std::string& graph() const { return graph_; }
+  /// Requested neighborhood representation (empty = daemon default).
+  const std::string& rep() const { return rep_; }
 
   /// The request's cancellation/deadline authority.  The deadline clock
   /// starts at *admission* (queue wait spends budget — under load a
@@ -113,6 +116,7 @@ class RequestTicket {
   const std::uint64_t id_;
   const std::string client_id_;
   const std::string graph_;
+  const std::string rep_;
   SolveControl control_;
 
   mutable Mutex mutex_;
@@ -154,7 +158,8 @@ class RequestBroker {
   /// default; the configured max caps either.
   std::shared_ptr<RequestTicket> submit(const std::string& graph,
                                         double time_limit,
-                                        const std::string& client_id);
+                                        const std::string& client_id,
+                                        const std::string& rep = {});
 
   /// Stops admitting (subsequent submits shed).  With `cancel_in_flight`,
   /// every queued and running ticket's control is cancelled with

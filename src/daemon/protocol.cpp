@@ -40,6 +40,14 @@ Request parse_request(const std::string& line) {
   }
   json_get_string(line, "graph", request.graph);
   json_get_string(line, "id", request.id);
+  if (json_get_string(line, "rep", request.rep) && !request.rep.empty() &&
+      request.rep != "auto" && request.rep != "hash" &&
+      request.rep != "sorted" && request.rep != "bitset" &&
+      request.rep != "hybrid") {
+    throw Error(ErrorKind::kInput,
+                "unknown rep '" + request.rep +
+                    "' (expected auto|hash|sorted|bitset|hybrid)");
+  }
   double limit = 0;
   if (json_get_number(line, "time_limit", limit)) {
     if (!(limit >= 0)) {
@@ -64,6 +72,7 @@ std::string format_request(const Request& request) {
   w.open();
   w.field("verb", verb_name(request.verb));
   if (!request.graph.empty()) w.field("graph", request.graph);
+  if (!request.rep.empty()) w.field("rep", request.rep);
   if (request.time_limit > 0) w.field("time_limit", request.time_limit);
   if (!request.id.empty()) w.field("id", request.id);
   w.close();

@@ -5,9 +5,11 @@
 // so a daemon solve and a `lazymc --json` run emit the same schema plus
 // request_id/status fields).  Verbs:
 //
-//   {"verb":"load","graph":"<spec>"}             load/cache a graph
-//   {"verb":"solve","graph":"<spec>",
-//    "time_limit":S,"id":"<client id>"}          solve (budget optional)
+//   {"verb":"load","graph":"<spec>",
+//    "rep":"auto|hash|sorted|bitset|hybrid"}     load/cache a graph
+//   {"verb":"solve","graph":"<spec>","rep":...,
+//    "time_limit":S,"id":"<client id>"}          solve (budget and rep
+//                                                optional)
 //   {"verb":"status"}  (alias "health")          counters + lifecycle
 //   {"verb":"drain"}                             refuse new work, let
 //                                                in-flight finish, exit
@@ -39,6 +41,9 @@ struct Request {
   /// Client-supplied request id, echoed back in the response (may be
   /// empty; the daemon always assigns its own numeric id as well).
   std::string id;
+  /// Neighborhood representation for this request (load/solve); empty
+  /// means the daemon default (auto).  Validated at parse time.
+  std::string rep;
 };
 
 /// Parses one request line.  Throws Error(kInput) on malformed or

@@ -108,10 +108,15 @@ LazyMCResult lazy_mc(const Graph& g, const LazyMCConfig& config) {
   lazy.set_preferred_rep(config.neighborhood_rep);
   // Bitset rows cover the zone of interest fixed by the incumbent the
   // degree heuristic found; forcing hash/sorted turns them off entirely.
-  if (config.bitset_budget_bytes > 0 &&
-      (config.neighborhood_rep == NeighborhoodRep::kAuto ||
-       config.neighborhood_rep == NeighborhoodRep::kBitset)) {
-    lazy.enable_bitset_rows(config.bitset_budget_bytes);
+  if (config.bitset_budget_bytes > 0) {
+    if (config.neighborhood_rep == NeighborhoodRep::kHybrid) {
+      lazy.enable_hybrid_rows(config.bitset_budget_bytes,
+                              config.hybrid_array_max,
+                              config.hybrid_run_min_saving);
+    } else if (config.neighborhood_rep == NeighborhoodRep::kAuto ||
+               config.neighborhood_rep == NeighborhoodRep::kBitset) {
+      lazy.enable_bitset_rows(config.bitset_budget_bytes);
+    }
   }
   lazy.prepopulate(config.prepopulate, /*must_threshold=*/incumbent.size());
   result.phases.must_subgraph = timer.lap();
@@ -170,6 +175,8 @@ LazyMCResult lazy_mc(const Graph& g, const LazyMCConfig& config) {
   result.search.kernel_hash_batched = stats.kernels.hash_batched.load();
   result.search.kernel_bitset_probe = stats.kernels.bitset_probe.load();
   result.search.kernel_bitset_word = stats.kernels.bitset_word.load();
+  result.search.kernel_array_gallop = stats.kernels.array_gallop.load();
+  result.search.kernel_run_and = stats.kernels.run_and.load();
   result.search.kernel_word_scalar =
       stats.kernels.word_tier[static_cast<std::size_t>(simd::Tier::kScalar)]
           .load();

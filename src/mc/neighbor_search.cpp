@@ -46,7 +46,7 @@ void induce_from_lazy(LazyGraph& h, const std::vector<VertexId>& members,
   out.reset_pooled(n);
   out.vertices.assign(members.begin(), members.end());
   EdgeId m = 0;
-  bool words_ready = h.bitset_enabled() && n >= 2;
+  bool words_ready = (h.bitset_enabled() || h.hybrid_enabled()) && n >= 2;
   if (words_ready) {
     try {
       scratch.a_words.build({members.data(), members.size()}, h.zone_begin());
@@ -62,8 +62,7 @@ void induce_from_lazy(LazyGraph& h, const std::vector<VertexId>& members,
   const wordops::Table& ops = wordops::active();
   for (std::size_t i = 0; i < n; ++i) {
     NeighborhoodView view = h.membership(members[i]);
-    if (words_ready && view.has_bitset()) {
-      const BitsetRow& row = view.bitset();
+    if (words_ready && (view.has_bitset() || view.has_hybrid())) {
       // Only offsets strictly above members[i] (locals j > i).
       const VertexId off_i = members[i] - zone_begin;
       const std::uint32_t first_word = off_i >> 6;
@@ -74,8 +73,23 @@ void induce_from_lazy(LazyGraph& h, const std::vector<VertexId>& members,
           std::lower_bound(idx.begin(), idx.end(), first_word) - idx.begin());
       const std::size_t cnt = idx.size() - start;
       std::uint64_t* hit_words = scratch.and_words.data();
-      ops.gather_and(hit_words, bits.data() + start, idx.data() + start,
-                     row.words, cnt);
+      // The dense containers (plain bitset row, hybrid bitset kind) feed
+      // the gather-AND primitive; array/run containers produce B's words
+      // through their ascending cursors instead.
+      const std::uint64_t* row_words =
+          view.has_bitset() ? view.bitset().words
+                            : (view.hybrid().kind == RowContainer::kBitset
+                                   ? view.hybrid().data
+                                   : nullptr);
+      if (row_words != nullptr) {
+        ops.gather_and(hit_words, bits.data() + start, idx.data() + start,
+                       row_words, cnt);
+      } else {
+        hybrid_detail::HybridWordCursor cur(view.hybrid());
+        for (std::size_t e = 0; e < cnt; ++e) {
+          hit_words[e] = bits[start + e] & cur.word(idx[start + e]);
+        }
+      }
       if (cnt > 0 && idx[start] == first_word) hit_words[0] &= first_mask;
       std::size_t j = i + 1;
       for (std::size_t e = 0; e < cnt; ++e) {
@@ -284,7 +298,7 @@ void neighbor_search(LazyGraph& h, VertexId v, Incumbent& incumbent,
   // filter 1 has coreness >= bound >= the bound when rows were enabled).
   // A failed word-form build degrades the round to scalar kernels (the
   // word set is an accelerator; membership views answer without it).
-  bool zone_kernels = h.bitset_enabled();
+  bool zone_kernels = h.bitset_enabled() || h.hybrid_enabled();
   auto build_words = [&](std::span<const VertexId> span)
       -> const SparseWordSet* {
     if (!zone_kernels) return nullptr;

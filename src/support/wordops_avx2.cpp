@@ -1,5 +1,7 @@
 // AVX2 word-array primitives: 256-bit lanes (4 words per step), popcount
-// via the PSHUFB nibble LUT (support/simd.hpp).  Compiled to an empty
+// via the PSHUFB nibble LUT (support/simd.hpp); the bulk popcount paths
+// accumulate 16-word blocks through a Harley-Seal carry-save tree before
+// any horizontal reduce.  Compiled to an empty
 // registry unless the build enables __AVX2__ (-DLAZYMC_SIMD=avx2 or
 // -march=native); runtime reachability is additionally gated by CPUID in
 // simd::current_tier().
@@ -12,32 +14,78 @@
 namespace lazymc::wordops {
 namespace {
 
-std::size_t v_popcount(const std::uint64_t* src, std::size_t n) {
-  __m256i acc = _mm256_setzero_si256();
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    const __m256i v =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
-    acc = _mm256_add_epi64(acc, simd::popcount_epi64(v));
+/// Carry-save adder step: (h, l) <- a + b + c as a 2-bit column sum per
+/// bit position (h carries weight 2, l weight 1).
+inline void csa(__m256i& h, __m256i& l, __m256i a, __m256i b, __m256i c) {
+  const __m256i u = _mm256_xor_si256(a, b);
+  h = _mm256_or_si256(_mm256_and_si256(a, b), _mm256_and_si256(u, c));
+  l = _mm256_xor_si256(u, c);
+}
+
+/// Harley-Seal accumulation over a 16-word (4-vector) block: the CSA tree
+/// folds four vectors into ones/twos carries so the PSHUFB popcount and
+/// its horizontal reduce run once per block instead of once per vector
+/// (Mula, Kurz, Lemire, "Faster population counts using AVX2
+/// instructions").  `total` accumulates fours-weighted popcounts; the
+/// ones/twos carries fold in only at the end, so the deferred reduce is
+/// exact for any n.
+struct HarleySeal {
+  __m256i total = _mm256_setzero_si256();
+  __m256i ones = _mm256_setzero_si256();
+  __m256i twos = _mm256_setzero_si256();
+
+  inline void block(__m256i v0, __m256i v1, __m256i v2, __m256i v3) {
+    __m256i twos_a, twos_b, fours;
+    csa(twos_a, ones, ones, v0, v1);
+    csa(twos_b, ones, ones, v2, v3);
+    csa(fours, twos, twos, twos_a, twos_b);
+    total = _mm256_add_epi64(total, simd::popcount_epi64(fours));
   }
-  std::size_t c = simd::reduce_add_epi64(acc);
+
+  inline std::size_t reduce() const {
+    return 4 * simd::reduce_add_epi64(total) +
+           2 * simd::reduce_add_epi64(simd::popcount_epi64(twos)) +
+           simd::reduce_add_epi64(simd::popcount_epi64(ones));
+  }
+};
+
+inline __m256i load4(const std::uint64_t* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+std::size_t v_popcount(const std::uint64_t* src, std::size_t n) {
+  HarleySeal hs;
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    hs.block(load4(src + i), load4(src + i + 4), load4(src + i + 8),
+             load4(src + i + 12));
+  }
+  __m256i acc = _mm256_setzero_si256();
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_epi64(acc, simd::popcount_epi64(load4(src + i)));
+  }
+  std::size_t c = hs.reduce() + simd::reduce_add_epi64(acc);
   for (; i < n; ++i) c += std::popcount(src[i]);
   return c;
 }
 
 std::size_t v_popcount_and(const std::uint64_t* a, const std::uint64_t* b,
                            std::size_t n) {
-  __m256i acc = _mm256_setzero_si256();
+  HarleySeal hs;
   std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    const __m256i va =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
-    const __m256i vb =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
-    acc = _mm256_add_epi64(acc,
-                           simd::popcount_epi64(_mm256_and_si256(va, vb)));
+  for (; i + 16 <= n; i += 16) {
+    hs.block(_mm256_and_si256(load4(a + i), load4(b + i)),
+             _mm256_and_si256(load4(a + i + 4), load4(b + i + 4)),
+             _mm256_and_si256(load4(a + i + 8), load4(b + i + 8)),
+             _mm256_and_si256(load4(a + i + 12), load4(b + i + 12)));
   }
-  std::size_t c = simd::reduce_add_epi64(acc);
+  __m256i acc = _mm256_setzero_si256();
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_epi64(
+        acc, simd::popcount_epi64(_mm256_and_si256(load4(a + i),
+                                                   load4(b + i))));
+  }
+  std::size_t c = hs.reduce() + simd::reduce_add_epi64(acc);
   for (; i < n; ++i) c += std::popcount(a[i] & b[i]);
   return c;
 }

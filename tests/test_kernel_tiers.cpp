@@ -6,7 +6,10 @@
 // word-parallel kernels actually run.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cctype>
+#include <cstdint>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -87,6 +90,39 @@ TEST(SimdTiers, ConfigForcedTierDoesNotLeakIntoLaterSolves) {
   simd::reset_tier();
 }
 
+TEST(SimdTiers, BulkPopcountBitIdenticalAcrossTiers) {
+  // The AVX2 bulk popcounts accumulate 16-word blocks through a
+  // Harley-Seal carry-save tree; every tier must agree with the plain
+  // scalar fold at every size around the 4-word and 16-word block
+  // boundaries (and the partially-filled tails between them).
+  std::vector<std::uint64_t> a, b;
+  std::mt19937_64 rng(12345);
+  for (std::size_t i = 0; i < 80; ++i) {
+    a.push_back(rng());
+    b.push_back(rng());
+  }
+  a[3] = ~0ULL;  // saturated columns stress the carry-save adders
+  b[3] = ~0ULL;
+  a[20] = 0;
+  for (std::size_t n : {0u,  1u,  3u,  4u,  5u,  15u, 16u, 17u, 31u, 32u,
+                        33u, 47u, 48u, 49u, 63u, 64u, 65u, 79u, 80u}) {
+    std::size_t want = 0, want_and = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      want += static_cast<std::size_t>(std::popcount(a[i]));
+      want_and += static_cast<std::size_t>(std::popcount(a[i] & b[i]));
+    }
+    for (simd::Tier tier : supported_tiers()) {
+      ASSERT_TRUE(simd::force_tier(tier));
+      const wordops::Table& ops = wordops::active();
+      EXPECT_EQ(ops.popcount(a.data(), n), want)
+          << "n=" << n << " tier=" << simd::tier_name(tier);
+      EXPECT_EQ(ops.popcount_and(a.data(), b.data(), n), want_and)
+          << "n=" << n << " tier=" << simd::tier_name(tier);
+    }
+    simd::reset_tier();
+  }
+}
+
 class KernelTierSweepTest : public testing::TestWithParam<std::string> {
  protected:
   void TearDown() override {
@@ -110,22 +146,29 @@ TEST_P(KernelTierSweepTest, OmegaIdenticalAcrossTiersAndThreads) {
   for (std::size_t threads : {1, 2, 8}) {
     set_num_threads(threads);
     for (simd::Tier tier : supported_tiers()) {
-      mc::LazyMCConfig cfg;
-      cfg.neighborhood_rep = NeighborhoodRep::kBitset;
-      cfg.kernel_tier = tier;
-      auto r = mc::lazy_mc(g, cfg);
-      EXPECT_EQ(r.omega, baseline.omega)
-          << GetParam() << " threads=" << threads
-          << " tier=" << simd::tier_name(tier);
-      EXPECT_TRUE(is_clique(g, r.clique));
-      EXPECT_FALSE(r.timed_out);
-      EXPECT_EQ(r.search.simd_tier, simd::tier_name(tier));
-      // Any bitset-word dispatch must be attributed to the forced tier.
-      const std::uint64_t attributed =
-          tier == simd::Tier::kScalar   ? r.search.kernel_word_scalar
-          : tier == simd::Tier::kAvx2   ? r.search.kernel_word_avx2
-                                        : r.search.kernel_word_avx512;
-      EXPECT_EQ(attributed, r.search.kernel_bitset_word);
+      for (NeighborhoodRep rep :
+           {NeighborhoodRep::kBitset, NeighborhoodRep::kHybrid}) {
+        mc::LazyMCConfig cfg;
+        cfg.neighborhood_rep = rep;
+        cfg.kernel_tier = tier;
+        auto r = mc::lazy_mc(g, cfg);
+        EXPECT_EQ(r.omega, baseline.omega)
+            << GetParam() << " threads=" << threads
+            << " tier=" << simd::tier_name(tier)
+            << " rep=" << static_cast<int>(rep);
+        EXPECT_TRUE(is_clique(g, r.clique));
+        EXPECT_FALSE(r.timed_out);
+        EXPECT_EQ(r.search.simd_tier, simd::tier_name(tier));
+        if (rep == NeighborhoodRep::kBitset) {
+          // Any bitset-word dispatch must be attributed to the forced
+          // tier (hybrid rows split theirs across container counters).
+          const std::uint64_t attributed =
+              tier == simd::Tier::kScalar   ? r.search.kernel_word_scalar
+              : tier == simd::Tier::kAvx2   ? r.search.kernel_word_avx2
+                                            : r.search.kernel_word_avx512;
+          EXPECT_EQ(attributed, r.search.kernel_bitset_word);
+        }
+      }
     }
     // Auto dispatch (no forced tier) must agree too.
     simd::reset_tier();
