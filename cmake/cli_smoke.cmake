@@ -35,6 +35,8 @@ expect("${json_out}" "\"verification\":\"ok\"" "generator JSON verification")
 expect("${json_out}" "\"phases\":" "generator JSON phase times")
 expect("${json_out}" "\"search\":" "generator JSON search stats")
 expect("${json_out}" "\"lazy_graph\":" "generator JSON lazy-graph stats")
+expect("${json_out}" "\"load_seconds\":[0-9]" "generator JSON load time")
+expect("${json_out}" "\"load_path\":\"gen\"" "generator JSON load path")
 
 # 2. DIMACS file: K4 on vertices 1-4 plus an isolated vertex 5 (omega 4,
 # and the declared n=5 must survive the read).
@@ -45,11 +47,66 @@ run_lazymc(text_out --graph "${clq}" --solver lazymc)
 expect("${text_out}" "omega: +4" "DIMACS text omega")
 expect("${text_out}" "5 vertices" "DIMACS declared vertex count")
 expect("${text_out}" "verification: ok" "DIMACS text witness verification")
+expect("${text_out}" "loaded in [0-9.]+s via parse" "DIMACS text load path")
 
 # 3. Same file through a baseline solver, JSON output.
 run_lazymc(ref_out --graph "${clq}" --solver reference --json)
 expect("${ref_out}" "\"omega\":4" "DIMACS reference omega")
 expect("${ref_out}" "\"verification\":\"ok\"" "reference witness verification")
+
+# 3b. Binary graph store: convert the DIMACS file and a generator
+# instance to .lmg, solve straight off the mmap, and check the reported
+# load path plus zero-copy row adoption (no lazily built rows).
+if(LAZYMC_CONVERT_BIN)
+  set(k4_lmg "${WORK_DIR}/smoke_k4.lmg")
+  execute_process(COMMAND "${LAZYMC_CONVERT_BIN}" "${clq}" "${k4_lmg}"
+                          --with-rows --verify
+                  OUTPUT_VARIABLE conv_out ERROR_VARIABLE conv_err
+                  RESULT_VARIABLE conv_status)
+  if(NOT conv_status EQUAL 0)
+    message(FATAL_ERROR "lazymc-convert exited with ${conv_status}:"
+                        "\n${conv_out}\n${conv_err}")
+  endif()
+  expect("${conv_out}" "verified" "converter round-trip verification")
+  run_lazymc(lmg_out --graph "${k4_lmg}" --solver lazymc --json)
+  expect("${lmg_out}" "\"omega\":4" "mmap-loaded omega")
+  expect("${lmg_out}" "\"load_path\":\"mmap\"" "mmap load path in report")
+  expect("${lmg_out}" "\"verification\":\"ok\"" "mmap-loaded verification")
+
+  set(webcc_lmg "${WORK_DIR}/smoke_webcc.lmg")
+  execute_process(COMMAND "${LAZYMC_CONVERT_BIN}" gen:webcc:tiny
+                          "${webcc_lmg}" --rows-omega 1 --verify
+                  RESULT_VARIABLE conv_status)
+  if(NOT conv_status EQUAL 0)
+    message(FATAL_ERROR "lazymc-convert gen:webcc:tiny exited with "
+                        "${conv_status}")
+  endif()
+  run_lazymc(rows_out --graph "${webcc_lmg}" --solver lazymc --rep bitset
+             --json)
+  expect("${rows_out}" "\"load_path\":\"mmap\"" "store load path")
+  expect("${rows_out}" "\"rows_prebuilt\":[1-9]" "prebuilt rows adopted")
+  expect("${rows_out}" "\"bitset_built\":0" "no rows built into the arena")
+  run_lazymc(gen_rows_out --graph gen:webcc:tiny --solver lazymc
+             --rep bitset --json)
+  string(REGEX MATCH "\"omega\":[0-9]+" lmg_omega "${rows_out}")
+  string(REGEX MATCH "\"omega\":[0-9]+" gen_omega "${gen_rows_out}")
+  if(NOT lmg_omega STREQUAL gen_omega)
+    message(FATAL_ERROR "store vs parse omega diverged: ${lmg_omega} vs "
+                        "${gen_omega}")
+  endif()
+
+  # A truncated store must be an input error (exit 3), not a crash.
+  set(trunc_lmg "${WORK_DIR}/smoke_trunc.lmg")
+  execute_process(
+      COMMAND sh -c "head -c 150 '${k4_lmg}' > '${trunc_lmg}'")
+  execute_process(COMMAND "${LAZYMC_BIN}" --graph "${trunc_lmg}"
+                  OUTPUT_VARIABLE trunc_out ERROR_VARIABLE trunc_err
+                  RESULT_VARIABLE trunc_status)
+  if(NOT trunc_status EQUAL 3)
+    message(FATAL_ERROR "truncated store should exit 3, got "
+                        "${trunc_status}:\n${trunc_out}\n${trunc_err}")
+  endif()
+endif()
 
 # 4. Batch mode: a manifest plus a repeated --graph stream one JSON object
 # per instance (JSON implied, no --json needed).

@@ -50,6 +50,7 @@ LoadedGraph load_generated(const std::string& spec) {
   loaded.graph = std::move(instance.graph);
   loaded.description = "gen:" + rest + ":" + scale_name(scale);
   loaded.load_seconds = timer.elapsed();
+  loaded.load_path = "gen";
   return loaded;
 }
 
@@ -59,7 +60,16 @@ LoadedGraph load_graph(const std::string& spec) {
   if (spec.rfind("gen:", 0) == 0) return load_generated(spec);
   WallTimer timer;
   LoadedGraph loaded;
-  loaded.graph = io::read_graph_file(spec);
+  if (store::is_lmg_file(spec)) {
+    // Keep the view: it carries the stored order/coreness/rows the solve
+    // consumes via mc::PrebuiltGraph, on top of backing the CSR spans.
+    auto view = store::BinaryGraphView::open(spec);
+    loaded.graph = view->graph();
+    loaded.store = std::move(view);
+    loaded.load_path = "mmap";
+  } else {
+    loaded.graph = io::read_graph_file(spec);
+  }
   loaded.description = "file:" + spec;
   loaded.load_seconds = timer.elapsed();
   return loaded;

@@ -105,10 +105,22 @@ Error classify_current_exception(ErrorKind fallback) {
   }
 }
 
-void solve_into(const Options& options, RunReport& report, const Graph& g) {
+void solve_into(const Options& options, RunReport& report,
+                const LoadedGraph& loaded) {
+  const Graph& g = loaded.graph;
   switch (options.solver) {
     case Solver::kLazyMc: {
       mc::LazyMCConfig config;
+      // Binary-store loads ship the preprocessing (order, coreness,
+      // prebuilt rows); hand it to the solve so those phases collapse.
+      mc::PrebuiltGraph prebuilt;
+      if (loaded.store && loaded.store->has_order()) {
+        prebuilt.order = &loaded.store->order();
+        prebuilt.coreness = &loaded.store->coreness();
+        prebuilt.degeneracy = loaded.store->degeneracy();
+        prebuilt.rows = loaded.store->rows();
+        config.prebuilt = &prebuilt;
+      }
       config.vertex_order = options.order == Order::kPeeling
                                 ? mc::VertexOrderKind::kPeeling
                                 : mc::VertexOrderKind::kCorenessDegree;
@@ -243,6 +255,7 @@ InstanceOutcome solve_once(const Options& options, const std::string& spec,
   report.num_vertices = loaded.graph.num_vertices();
   report.num_edges = loaded.graph.num_edges();
   report.load_seconds = loaded.load_seconds;
+  report.load_path = loaded.load_path;
 
   Options budgeted = options;
   if (std::isfinite(options.time_limit_seconds)) {
@@ -254,7 +267,7 @@ InstanceOutcome solve_once(const Options& options, const std::string& spec,
   }
 
   WallTimer timer;
-  solve_into(budgeted, report, loaded.graph);
+  solve_into(budgeted, report, loaded);
   report.solve_seconds = timer.elapsed();
 
   // The solvers share one cancellation path for the clock and the signal;

@@ -10,7 +10,8 @@ namespace lazymc::cli {
 void render_text(const RunReport& r, std::ostream& out) {
   out << "graph:    " << r.graph << "  (" << r.num_vertices << " vertices, "
       << r.num_edges << " edges; loaded in " << std::fixed
-      << std::setprecision(3) << r.load_seconds << "s)\n";
+      << std::setprecision(3) << r.load_seconds << "s via " << r.load_path
+      << ")\n";
   out << "solver:   " << r.solver << "  (" << r.threads << " thread"
       << (r.threads == 1 ? "" : "s") << ")\n";
   if (r.has_mce) {
@@ -92,6 +93,7 @@ void render_text(const RunReport& r, std::ostream& out) {
   out << "lazygraph: hash-built=" << g.hash_built
       << " sorted-built=" << g.sorted_built
       << " bitset-built=" << g.bitset_built
+      << " rows-prebuilt=" << g.rows_prebuilt
       << " bitset-bytes=" << g.bitset_bytes << " zone=" << g.zone_size
       << "\n           neighbors-kept=" << g.neighbors_kept
       << " neighbors-filtered=" << g.neighbors_filtered << "\n";
@@ -115,6 +117,7 @@ void render_json(const RunReport& r, std::ostream& out) {
   w.field("num_vertices", r.num_vertices);
   w.field("num_edges", r.num_edges);
   w.field("load_seconds", r.load_seconds);
+  w.field("load_path", r.load_path);
   w.field("solve_seconds", r.solve_seconds);
   w.field("omega", r.omega);
   w.field("timed_out", r.timed_out);
@@ -183,6 +186,7 @@ void render_json(const RunReport& r, std::ostream& out) {
     w.field("hash_built", g.hash_built);
     w.field("sorted_built", g.sorted_built);
     w.field("bitset_built", g.bitset_built);
+    w.field("rows_prebuilt", g.rows_prebuilt);
     w.field("bitset_bytes", g.bitset_bytes);
     w.field("zone_size", g.zone_size);
     w.field("neighbors_kept", g.neighbors_kept);

@@ -30,6 +30,8 @@ struct RunReport {
   VertexId num_vertices = 0;
   EdgeId num_edges = 0;
   double load_seconds = 0;
+  /// LoadedGraph::load_path: "parse", "mmap", or "gen".
+  std::string load_path = "parse";
   double solve_seconds = 0;
 
   std::vector<VertexId> clique;  // empty for mce

@@ -107,6 +107,21 @@ std::size_t GraphStore::size() const {
   return ready;
 }
 
+std::vector<std::pair<std::string, std::shared_ptr<const cli::LoadedGraph>>>
+GraphStore::snapshot() const {
+  MutexLock lock(mutex_);
+  std::vector<std::pair<std::string, std::shared_ptr<const cli::LoadedGraph>>>
+      out;
+  out.reserve(graphs_.size());
+  for (const auto& entry : graphs_) {
+    if (entry.second.wait_for(std::chrono::seconds(0)) ==
+        std::future_status::ready) {
+      out.emplace_back(entry.first, entry.second.get());
+    }
+  }
+  return out;
+}
+
 Server::Server(ServerConfig config) : config_(std::move(config)) {}
 
 namespace {
@@ -154,8 +169,20 @@ struct Daemon {
     report.num_vertices = loaded->graph.num_vertices();
     report.num_edges = loaded->graph.num_edges();
     report.load_seconds = loaded->load_seconds;
+    report.load_path = loaded->load_path;
 
     mc::LazyMCConfig mc_config;
+    // Binary-store graphs carry their preprocessing; the solve consumes
+    // the stored order/coreness and adopts the mmap'ed rows zero-copy
+    // when the zone is compatible (lifetime: `loaded` outlives the solve).
+    mc::PrebuiltGraph prebuilt;
+    if (loaded->store && loaded->store->has_order()) {
+      prebuilt.order = &loaded->store->order();
+      prebuilt.coreness = &loaded->store->coreness();
+      prebuilt.degeneracy = loaded->store->degeneracy();
+      prebuilt.rows = loaded->store->rows();
+      mc_config.prebuilt = &prebuilt;
+    }
     // The per-request isolation seam: this solve observes (and is
     // cancellable through) the ticket's control only.
     mc_config.control = &ticket.control();
@@ -237,6 +264,22 @@ struct Daemon {
     w.field("executors", config.executors);
     w.field("draining", broker->draining());
     w.field("graphs", store.size());
+    // Per-graph load provenance: how each resident graph materialized
+    // ("parse"/"mmap"/"gen") and what the load cost, so operators can
+    // see at a glance which instances would benefit from conversion to
+    // the binary store.
+    w.open_array("graph_store");
+    for (const auto& [spec, g] : store.snapshot()) {
+      w.open();
+      w.field("spec", spec);
+      w.field("description", g->description);
+      w.field("load_seconds", g->load_seconds);
+      w.field("load_path", g->load_path);
+      w.field("num_vertices", g->graph.num_vertices());
+      w.field("num_edges", g->graph.num_edges());
+      w.close();
+    }
+    w.close_array();
     w.open("requests");
     w.field("admitted", c.admitted);
     w.field("completed", c.completed);
@@ -269,7 +312,8 @@ struct Daemon {
         const auto loaded = store.get(request.graph);
         std::ostringstream detail;
         detail << loaded->description << ": " << loaded->graph.num_vertices()
-               << " vertices, " << loaded->graph.num_edges() << " edges";
+               << " vertices, " << loaded->graph.num_edges() << " edges, via "
+               << loaded->load_path;
         if (!request.rep.empty()) detail << ", rep=" << request.rep;
         return ack_response("load", detail.str());
       }

@@ -35,6 +35,8 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "cli/graph_source.hpp"
 #include "cli/journal.hpp"
@@ -78,6 +80,13 @@ class GraphStore {
 
   /// Number of fully loaded graphs (in-flight loads are not counted).
   std::size_t size() const;
+
+  /// Snapshot of the fully loaded graphs, spec -> shared handle (status
+  /// verb reporting).  In-flight loads are skipped; a ready future in
+  /// the map is always a success (failures are erased before their
+  /// waiters observe the exception).
+  std::vector<std::pair<std::string, std::shared_ptr<const cli::LoadedGraph>>>
+  snapshot() const;
 
  private:
   using Future = std::shared_future<std::shared_ptr<const cli::LoadedGraph>>;

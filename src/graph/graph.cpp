@@ -5,12 +5,26 @@
 
 namespace lazymc {
 
-Graph::Graph(std::vector<EdgeId> offsets, std::vector<VertexId> adjacency)
-    : offsets_(std::move(offsets)), adjacency_(std::move(adjacency)) {
-  if (offsets_.empty()) {
-    offsets_.push_back(0);
+Graph::Graph(std::vector<EdgeId> offsets, std::vector<VertexId> adjacency) {
+  auto owned = std::make_shared<Owned>();
+  owned->offsets = std::move(offsets);
+  owned->adjacency = std::move(adjacency);
+  if (owned->offsets.empty()) {
+    owned->offsets.push_back(0);
   }
-  if (offsets_.back() != adjacency_.size()) {
+  if (owned->offsets.back() != owned->adjacency.size()) {
+    throw std::invalid_argument("Graph: offsets/adjacency size mismatch");
+  }
+  offsets_ = {owned->offsets.data(), owned->offsets.size()};
+  adjacency_ = {owned->adjacency.data(), owned->adjacency.size()};
+  storage_ = std::move(owned);
+}
+
+Graph::Graph(std::span<const EdgeId> offsets,
+             std::span<const VertexId> adjacency,
+             std::shared_ptr<const void> keepalive)
+    : storage_(std::move(keepalive)), offsets_(offsets), adjacency_(adjacency) {
+  if (offsets_.empty() || offsets_.back() != adjacency_.size()) {
     throw std::invalid_argument("Graph: offsets/adjacency size mismatch");
   }
 }

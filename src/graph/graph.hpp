@@ -8,9 +8,17 @@
 // Vertex ids are 32-bit; edge counts 64-bit (the paper's graphs reach
 // 9.3G edges; the synthetic suite stays far below, but the representation
 // does not impose an artificial ceiling).
+//
+// Storage is either owned (the classic vector-backed CSR) or borrowed
+// from an external arena — e.g. the mmap'ed sections of a binary graph
+// store (store/binary_graph.hpp), where the offsets and adjacency arrays
+// are consumed zero-copy straight off the page cache.  Either way a
+// Graph is two spans plus a shared keepalive, so copies are cheap and
+// share the immutable storage.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -29,6 +37,14 @@ class Graph {
   /// Takes ownership of CSR arrays.  offsets.size() == n+1,
   /// adjacency.size() == offsets.back() == 2*undirected edge count.
   Graph(std::vector<EdgeId> offsets, std::vector<VertexId> adjacency);
+
+  /// Borrows externally owned CSR arrays (same shape contract as the
+  /// owning constructor; the arrays must already satisfy it — this
+  /// constructor validates sizes only, like the owning one).
+  /// `keepalive` pins the backing storage (e.g. an mmap'ed file view)
+  /// for the lifetime of this Graph and every copy of it.
+  Graph(std::span<const EdgeId> offsets, std::span<const VertexId> adjacency,
+        std::shared_ptr<const void> keepalive);
 
   /// Number of vertices.
   VertexId num_vertices() const {
@@ -56,12 +72,20 @@ class Graph {
   VertexId max_degree() const;
 
   /// Raw CSR access (read-only) for algorithms that iterate everything.
-  const std::vector<EdgeId>& offsets() const { return offsets_; }
-  const std::vector<VertexId>& adjacency() const { return adjacency_; }
+  std::span<const EdgeId> offsets() const { return offsets_; }
+  std::span<const VertexId> adjacency() const { return adjacency_; }
 
  private:
-  std::vector<EdgeId> offsets_;
-  std::vector<VertexId> adjacency_;
+  struct Owned {
+    std::vector<EdgeId> offsets;
+    std::vector<VertexId> adjacency;
+  };
+
+  // Owned storage (an Owned block) or the caller's keepalive for
+  // borrowed storage; null only for the default-constructed empty graph.
+  std::shared_ptr<const void> storage_;
+  std::span<const EdgeId> offsets_;
+  std::span<const VertexId> adjacency_;
 };
 
 /// True when `clique` (a list of distinct vertices) induces a complete

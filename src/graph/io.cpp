@@ -1,14 +1,18 @@
 #include "graph/io.hpp"
 
 #include <algorithm>
+#include <charconv>
+#include <cstring>
 #include <fstream>
 #include <istream>
 #include <limits>
 #include <ostream>
-#include <sstream>
 #include <stdexcept>
+#include <string_view>
+#include <vector>
 
 #include "graph/builder.hpp"
+#include "store/binary_graph.hpp"
 #include "support/control.hpp"
 #include "support/error.hpp"
 
@@ -47,23 +51,112 @@ void strip_cr(std::string& line) {
   if (!line.empty() && line.back() == '\r') line.pop_back();
 }
 
+/// Buffered line scanner for the hot read loops: pulls 1 MiB chunks from
+/// the stream and hands out string_views split on '\n' with memchr, so a
+/// multi-gigabyte load does one istream call per megabyte instead of one
+/// getline + istringstream pair per line.  Trailing '\r' is stripped
+/// (CRLF tolerance, matching the getline paths).  The returned view is
+/// valid only until the next call.
+class LineScanner {
+ public:
+  explicit LineScanner(std::istream& in) : in_(in) {}
+
+  bool next(std::string_view& line) {
+    carry_.clear();
+    for (;;) {
+      if (pos_ == end_ && !refill()) {
+        if (carry_.empty()) return false;
+        line = carry_;  // final line without a trailing newline
+        strip(line);
+        return true;
+      }
+      const auto* nl = static_cast<const char*>(
+          std::memchr(pos_, '\n', static_cast<std::size_t>(end_ - pos_)));
+      if (nl) {
+        if (carry_.empty()) {
+          line = {pos_, static_cast<std::size_t>(nl - pos_)};
+        } else {
+          carry_.append(pos_, nl);
+          line = carry_;
+        }
+        pos_ = nl + 1;
+        strip(line);
+        return true;
+      }
+      carry_.append(pos_, end_);  // line spans a chunk boundary
+      pos_ = end_;
+    }
+  }
+
+ private:
+  static void strip(std::string_view& line) {
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  }
+
+  bool refill() {
+    if (eof_) return false;
+    if (buf_.empty()) buf_.resize(std::size_t{1} << 20);
+    in_.read(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+    const std::streamsize got = in_.gcount();
+    if (got <= 0) {
+      eof_ = true;
+      return false;
+    }
+    pos_ = buf_.data();
+    end_ = buf_.data() + got;
+    return true;
+  }
+
+  std::istream& in_;
+  std::vector<char> buf_;
+  std::string carry_;
+  const char* pos_ = nullptr;
+  const char* end_ = nullptr;
+  bool eof_ = false;
+};
+
+/// Skips spaces/tabs, then parses a decimal u64 off the front of `s`.
+/// False when no digits follow (the view is left unspecified then).
+bool parse_u64(std::string_view& s, std::uint64_t& out) {
+  std::size_t i = 0;
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+  const char* first = s.data() + i;
+  const char* last = s.data() + s.size();
+  const auto [p, ec] = std::from_chars(first, last, out);
+  if (ec != std::errc() || p == first) return false;
+  s.remove_prefix(static_cast<std::size_t>(p - s.data()));
+  return true;
+}
+
+/// Skips spaces/tabs, then one whitespace-delimited token.  False when
+/// the view holds nothing but blanks.
+bool skip_token(std::string_view& s) {
+  std::size_t i = 0;
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+  const std::size_t begin = i;
+  while (i < s.size() && s[i] != ' ' && s[i] != '\t') ++i;
+  s.remove_prefix(i);
+  return i > begin;
+}
+
 }  // namespace
 
 Graph read_edge_list(std::istream& in) {
   GraphBuilder builder;
-  std::string line;
+  LineScanner scanner(in);
+  std::string_view line;
   std::uint64_t line_no = 0;
   // Largest representable 0-based id: the builder stores counts (id + 1)
   // in VertexId, so VertexId's max itself is off-limits too.
   constexpr std::uint64_t kMaxId = std::numeric_limits<VertexId>::max() - 1;
-  while (std::getline(in, line)) {
+  while (scanner.next(line)) {
     ++line_no;
     check_interrupt(line_no);
-    strip_cr(line);
     if (line.empty() || line[0] == '#' || line[0] == '%') continue;
-    std::istringstream ls(line);
     std::uint64_t u, v;
-    if (!(ls >> u >> v)) continue;  // tolerate stray lines
+    if (!parse_u64(line, u) || !parse_u64(line, v)) {
+      continue;  // tolerate stray lines
+    }
     if (u > kMaxId || v > kMaxId) {
       fail("edge-list vertex id " + std::to_string(std::max(u, v)) +
            " exceeds the supported maximum " + std::to_string(kMaxId) +
@@ -76,14 +169,14 @@ Graph read_edge_list(std::istream& in) {
 
 Graph read_dimacs(std::istream& in) {
   GraphBuilder builder;
-  std::string line;
+  LineScanner scanner(in);
+  std::string_view line;
   bool saw_problem = false;
   std::uint64_t declared_n = 0, declared_m = 0, edge_records = 0;
   std::uint64_t line_no = 0;
-  while (std::getline(in, line)) {
+  while (scanner.next(line)) {
     ++line_no;
     check_interrupt(line_no);
-    strip_cr(line);
     if (line.empty()) continue;
     switch (line[0]) {
       case 'c':
@@ -93,9 +186,12 @@ Graph read_dimacs(std::istream& in) {
           fail("duplicate DIMACS 'p' line (line " + std::to_string(line_no) +
                ")");
         }
-        std::istringstream ls(line);
-        std::string p, kind;
-        if (!(ls >> p >> kind >> declared_n >> declared_m)) {
+        // "p <kind> <n> <m>"; the kind token is not validated, matching
+        // the historical istream parse.
+        std::string_view rest = line;
+        skip_token(rest);  // the 'p'
+        if (!skip_token(rest) || !parse_u64(rest, declared_n) ||
+            !parse_u64(rest, declared_m)) {
           fail("malformed DIMACS 'p' line (line " + std::to_string(line_no) +
                ")");
         }
@@ -114,10 +210,9 @@ Graph read_dimacs(std::istream& in) {
           fail("DIMACS 'e' record before the 'p' line (line " +
                std::to_string(line_no) + ")");
         }
-        std::istringstream ls(line);
-        char e;
+        std::string_view rest = line.substr(1);  // past the 'e'
         std::uint64_t u, v;
-        if (!(ls >> e >> u >> v)) {
+        if (!parse_u64(rest, u) || !parse_u64(rest, v)) {
           fail("malformed DIMACS 'e' line (line " + std::to_string(line_no) +
                ")");
         }
@@ -165,6 +260,12 @@ Graph read_dimacs_file(const std::string& path) {
 }
 
 Graph read_graph_file(const std::string& path) {
+  // Binary store first: the magic is unambiguous, and the returned Graph
+  // keeps the mmap'ed view alive through its keepalive, so callers that
+  // only want a Graph can stay oblivious to the format.
+  if (store::is_lmg_file(path)) {
+    return store::BinaryGraphView::open(path)->graph();
+  }
   auto in = open_or_throw(path);
   // Peek at the first non-empty line.
   std::string line;

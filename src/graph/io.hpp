@@ -33,7 +33,9 @@ Graph read_edge_list_file(const std::string& path);
 Graph read_dimacs(std::istream& in);
 Graph read_dimacs_file(const std::string& path);
 
-/// Auto-detects DIMACS (leading 'c'/'p'/'e' records) vs plain edge list.
+/// Auto-detects the format by content: `.lmg` binary stores (magic
+/// bytes; the returned Graph keeps the mmap alive via its keepalive),
+/// DIMACS (leading 'c'/'p'/'e' records), else plain edge list.
 Graph read_graph_file(const std::string& path);
 
 /// Writers (useful for exporting the synthetic suite).

@@ -57,6 +57,24 @@ struct BitsetRow {
   std::size_t size() const { return popcount; }
 };
 
+/// A block of zone rows built ahead of time — the binary graph store's
+/// (store/binary_graph.hpp) prebuilt row section, mmap'ed read-only and
+/// handed to LazyGraph::adopt_prebuilt_rows so the word kernels consume
+/// it zero-copy.  Row i (relabelled vertex zone_begin + i) starts at
+/// words + i * stride_words; the producer guarantees 64-byte alignment
+/// of `words` and of the stride.  Non-owning: the caller keeps the
+/// backing storage (page cache mapping) alive for the consumer's
+/// lifetime.
+struct PrebuiltRows {
+  const std::uint64_t* words = nullptr;
+  const std::uint32_t* counts = nullptr;  // per-row popcounts
+  VertexId zone_begin = 0;
+  VertexId zone_bits = 0;
+  std::size_t stride_words = 0;
+
+  bool valid() const { return words && counts && zone_bits > 0; }
+};
+
 /// Sparse word-list form of a *sorted* vertex array lying inside the zone.
 /// Rebuilt per filter round from scratch storage; building is O(|A|) and
 /// allocation-free once the arrays reach their high-water capacity.

@@ -431,6 +431,70 @@ void LazyGraph::enable_hybrid_rows(std::size_t budget_bytes,
   hybrid_enabled_ = true;
 }
 
+bool LazyGraph::adopt_prebuilt_rows(const PrebuiltRows& rows, bool hybrid) {
+  if (bitset_enabled_ || hybrid_enabled_) return false;
+  if (!rows.valid()) return false;
+  // The zone must be exactly the suffix [zone_begin, n) of relabelled
+  // ids — the store and this graph must agree on the vertex order for
+  // the bit positions to mean the same vertices.
+  if (rows.zone_begin >= n_ || n_ - rows.zone_begin != rows.zone_bits) {
+    return false;
+  }
+  const std::size_t words =
+      (static_cast<std::size_t>(rows.zone_bits) + 63) / 64;
+  if (rows.stride_words < words || rows.stride_words % 8 != 0 ||
+      reinterpret_cast<std::uintptr_t>(rows.words) % 64 != 0) {
+    return false;  // the SIMD tiers' aligned loads would be illegal
+  }
+  // Zone-coverage check: every vertex with coreness >= the incumbent must
+  // be *inside* the stored zone.  Stored rows may cover extra low-coreness
+  // vertices (they are supersets, safe by the heterogeneous-incumbent
+  // filtering invariant) but never fewer — a vertex outside the stored
+  // zone has no bit position, so its adjacency would silently vanish.
+  const VertexId bound = incumbent_size_
+                             ? incumbent_size_->load(std::memory_order_relaxed)
+                             : 0;
+  if (rows.zone_begin > 0 && coreness_new_[rows.zone_begin - 1] >= bound) {
+    return false;  // stored zone is narrower than the live zone
+  }
+
+  zone_begin_ = rows.zone_begin;
+  zone_bits_ = rows.zone_bits;
+  row_words_ = words;
+  row_stride_words_ = rows.stride_words;
+  row_ptr_.resize(zone_bits_);
+  row_count_.assign(rows.counts, rows.counts + zone_bits_);
+  for (VertexId i = 0; i < zone_bits_; ++i) {
+    // const_cast only to fit the shared row_ptr_ slot; adopted rows are
+    // published as built, so no build path ever writes through them
+    // (the backing mmap is PROT_READ — a write would fault).
+    row_ptr_[i] = const_cast<std::uint64_t*>(
+        rows.words + static_cast<std::size_t>(i) * rows.stride_words);
+  }
+  if (hybrid) {
+    // Every adopted row is a packed bitset container over the full zone.
+    row_units_.assign(zone_bits_, static_cast<std::uint32_t>(row_words_));
+    row_kind_.assign(zone_bits_,
+                     static_cast<std::uint8_t>(RowContainer::kBitset));
+  }
+  // No budget: nothing will ever be carved (every zone row already
+  // exists), and out-of-zone vertices never get rows by construction.
+  bitset_budget_words_.store(0, std::memory_order_relaxed);
+  bitset_exhausted_.store(false, std::memory_order_relaxed);
+  rows_prebuilt_ = zone_bits_;
+  for (VertexId v = zone_begin_; v < n_; ++v) {
+    // The release publishes the pointers and metadata written above to
+    // readers that load the flag with acquire (row_view / hybrid_view).
+    flags_[v].fetch_or(kBitsetBuilt, std::memory_order_release);
+  }
+  if (hybrid) {
+    hybrid_enabled_ = true;
+  } else {
+    bitset_enabled_ = true;
+  }
+  return true;
+}
+
 const HopscotchSet& LazyGraph::hashed_neighborhood(VertexId v) {
   if (!(flags_[v].load(std::memory_order_acquire) & kHashBuilt)) {
     build_hash(v);
@@ -571,6 +635,7 @@ LazyGraph::Stats LazyGraph::stats() const {
   s.sorted_built = stat_sorted_built_.load(std::memory_order_relaxed);
   s.bitset_built = stat_bitset_built_.load(std::memory_order_relaxed);
   s.bitset_degraded = stat_bitset_degraded_.load(std::memory_order_relaxed);
+  s.rows_prebuilt = rows_prebuilt_;
   s.bitset_bytes = stat_bitset_words_.load(std::memory_order_relaxed) * 8;
   s.zone_size = (bitset_enabled_ || hybrid_enabled_)
                     ? static_cast<std::size_t>(zone_bits_)

@@ -188,6 +188,31 @@ class LazyGraph {
 
   bool hybrid_enabled() const { return hybrid_enabled_; }
 
+  // ---- prebuilt rows (binary graph store) --------------------------------
+
+  /// Adopts a block of prebuilt zone rows (the binary graph store's
+  /// mmap'ed row section) instead of building rows into the slab arena:
+  /// every in-zone vertex is immediately marked built, pointing straight
+  /// at the caller's storage — zero copies, zero arena carves, and
+  /// stats().bitset_built stays 0 for adopted rows.
+  ///
+  /// `hybrid` selects which view the rows decode to (each prebuilt row is
+  /// a packed bitset, which is also a valid kBitset hybrid container), so
+  /// both --rep bitset and --rep hybrid solves can consume the same store.
+  ///
+  /// Returns false — leaving the graph untouched, lazy building still
+  /// available — when rows are already enabled, `rows` is malformed for
+  /// this graph (zone not the suffix [zone_begin, n), stride too small /
+  /// unaligned), or the stored zone does not cover the zone the current
+  /// incumbent implies (some vertex with coreness >= incumbent lies
+  /// before the stored zone_begin; its bits would be missing from every
+  /// row, which is NOT covered by the heterogeneous-incumbent invariant).
+  ///
+  /// Lifetime: the caller keeps the backing storage alive for this
+  /// graph's lifetime.  Call before concurrent use, like the enable_*
+  /// methods.
+  bool adopt_prebuilt_rows(const PrebuiltRows& rows, bool hybrid);
+
   /// The hybrid row of v; builds on first use.  Invalid when hybrid rows
   /// are disabled, v lies outside the zone, or the budget is exhausted.
   HybridRow hybrid_row(VertexId v);
@@ -210,6 +235,8 @@ class LazyGraph {
     std::size_t bitset_built = 0;
     std::size_t bitset_degraded = 0;  // row builds that failed allocation
                                       // and fell back to hash/sorted
+    std::size_t rows_prebuilt = 0;    // zone rows adopted from a binary
+                                      // store (never built, never carved)
     std::size_t bitset_bytes = 0;  // row storage actually committed (all
                                    // containers; the arena's carved total)
     std::size_t zone_size = 0;     // bits per row (0 = rows disabled)
@@ -334,6 +361,10 @@ class LazyGraph {
   std::atomic<std::size_t> arena_waste_words_{0};
   std::vector<std::uint64_t*> row_ptr_;  // null until the row is built
   std::vector<std::uint32_t> row_count_;
+  // Rows adopted from a binary store (adopt_prebuilt_rows): the zone size
+  // at adoption, 0 when rows are lazily built.  The row pointers then
+  // alias read-only caller storage, never the arena.
+  std::size_t rows_prebuilt_ = 0;
   // Hybrid-row container metadata (zone-indexed, hybrid mode only).
   std::vector<std::uint32_t> row_units_;
   std::vector<std::uint8_t> row_kind_;

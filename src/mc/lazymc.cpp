@@ -89,26 +89,54 @@ LazyMCResult lazy_mc(const Graph& g, const LazyMCConfig& config) {
   result.phases.degree_heuristic = timer.lap();
 
   // ---- 2-3. k-core bounded by |C*|, then (coreness, degree) order ------
+  // A binary store ships the exact decomposition and order precomputed;
+  // consuming them is the lb=0 variant of the same pipeline (exact
+  // coreness filters correctly for any incumbent), so the whole phase
+  // collapses to two pointer bindings.  Any mismatch — wrong order kind,
+  // stale sizes — falls back to computing from scratch.
+  const PrebuiltGraph* pre = config.prebuilt;
+  const bool use_prebuilt =
+      pre && pre->order && pre->coreness &&
+      config.vertex_order == VertexOrderKind::kCorenessDegree &&
+      pre->order->size() == g.num_vertices() &&
+      pre->coreness->size() == g.num_vertices();
   kcore::CoreDecomposition core;
   kcore::VertexOrder order;
-  if (config.vertex_order == VertexOrderKind::kPeeling) {
+  const kcore::VertexOrder* order_ref = &order;
+  const std::vector<VertexId>* coreness_ref = &core.coreness;
+  if (use_prebuilt) {
+    order_ref = pre->order;
+    coreness_ref = pre->coreness;
+    result.degeneracy = pre->degeneracy;
+  } else if (config.vertex_order == VertexOrderKind::kPeeling) {
     // Sequential full decomposition: yields the Matula–Beck peeling
     // order directly (the order MC-BRB and friends get "for free").
     core = kcore::coreness(g);
     order = kcore::order_from_peel(g, core.peel_order);
+    result.degeneracy = core.degeneracy;
   } else {
     core = kcore::coreness_lower_bounded(g, incumbent.size());
     order = kcore::order_by_coreness_degree_parallel(g, core.coreness);
+    result.degeneracy = core.degeneracy;
   }
-  result.degeneracy = core.degeneracy;
   result.phases.preprocessing = timer.lap();
 
   // ---- 4. lazy graph + optional must-subgraph prepopulation ------------
-  LazyGraph lazy(g, order, core.coreness, &incumbent.size_atomic());
+  LazyGraph lazy(g, *order_ref, *coreness_ref, &incumbent.size_atomic());
   lazy.set_preferred_rep(config.neighborhood_rep);
   // Bitset rows cover the zone of interest fixed by the incumbent the
   // degree heuristic found; forcing hash/sorted turns them off entirely.
-  if (config.bitset_budget_bytes > 0) {
+  // Stored rows are adopted zero-copy when their zone covers the live
+  // one; an incompatible store degrades to lazily built rows, never to a
+  // wrong answer.
+  bool adopted = false;
+  if (use_prebuilt && pre->rows.valid() && config.bitset_budget_bytes > 0 &&
+      config.neighborhood_rep != NeighborhoodRep::kHash &&
+      config.neighborhood_rep != NeighborhoodRep::kSorted) {
+    adopted = lazy.adopt_prebuilt_rows(
+        pre->rows, config.neighborhood_rep == NeighborhoodRep::kHybrid);
+  }
+  if (!adopted && config.bitset_budget_bytes > 0) {
     if (config.neighborhood_rep == NeighborhoodRep::kHybrid) {
       lazy.enable_hybrid_rows(config.bitset_budget_bytes,
                               config.hybrid_array_max,

@@ -38,6 +38,24 @@ enum class VertexOrderKind {
   kPeeling,
 };
 
+/// Preprocessed inputs carried by a binary graph store
+/// (store/binary_graph.hpp).  When a LazyMCConfig points at one, lazy_mc
+/// consumes the stored (coreness, degree) order and exact coreness
+/// instead of recomputing the k-core decomposition, and — when the
+/// stored zone is compatible with the live incumbent — adopts the
+/// stored packed rows zero-copy (LazyGraph::adopt_prebuilt_rows) so no
+/// row is ever rebuilt into the slab arena.  Everything here is
+/// borrowed: the pointers (and the mapping behind `rows`) must outlive
+/// the solve.
+struct PrebuiltGraph {
+  const kcore::VertexOrder* order = nullptr;
+  /// Exact coreness by original vertex id (lower bound 0, so it is valid
+  /// for any incumbent the heuristics produce).
+  const std::vector<VertexId>* coreness = nullptr;
+  VertexId degeneracy = 0;
+  PrebuiltRows rows{};
+};
+
 struct LazyMCConfig {
   /// Seeds for the degree-based heuristic search.
   VertexId heuristic_top_k = 16;
@@ -114,6 +132,12 @@ struct LazyMCConfig {
   /// stats block per request, nothing shared but the pool.  Must outlive
   /// the lazy_mc call.
   SolveControl* control = nullptr;
+  /// Preprocessing shipped by a binary graph store; nullptr = compute
+  /// everything from scratch (the normal path).  Only honored when
+  /// vertex_order == kCorenessDegree (the order the store serializes)
+  /// and the sizes match the input graph; otherwise silently ignored —
+  /// a solve never fails because a store was stale, it just recomputes.
+  const PrebuiltGraph* prebuilt = nullptr;
 };
 
 /// Per-phase wall-clock seconds (Fig. 2 / Fig. 7 stacks).

@@ -1,0 +1,454 @@
+#include "store/binary_graph.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace lazymc::store {
+namespace {
+
+static_assert(std::endian::native == std::endian::little,
+              "the .lmg format is little-endian; this build targets a "
+              "big-endian host (add byte-swapping before enabling it)");
+
+[[noreturn]] void bad_input(const std::string& path, const std::string& what,
+                            int sys_errno = 0) {
+  throw Error(ErrorKind::kInput, "lmg '" + path + "': " + what, sys_errno);
+}
+
+std::size_t aligned_up(std::size_t offset) {
+  return (offset + kSectionAlign - 1) & ~(kSectionAlign - 1);
+}
+
+/// RAII for the writer's FILE*; the reader uses raw fds + mmap.
+struct FileCloser {
+  std::FILE* f;
+  ~FileCloser() {
+    if (f) std::fclose(f);
+  }
+};
+
+void write_bytes(std::FILE* f, const void* data, std::size_t size,
+                 const std::string& path) {
+  if (size == 0) return;
+  if (std::fwrite(data, 1, size, f) != size) {
+    bad_input(path, "write failed", errno);
+  }
+}
+
+void write_padding(std::FILE* f, std::size_t from, std::size_t to,
+                   const std::string& path) {
+  static constexpr char zeros[kSectionAlign] = {};
+  while (from < to) {
+    const std::size_t chunk = std::min<std::size_t>(to - from, sizeof zeros);
+    write_bytes(f, zeros, chunk, path);
+    from += chunk;
+  }
+}
+
+}  // namespace
+
+void write_lmg(const Graph& g, const LmgBuildData& data,
+               const std::string& path) {
+  if (!data.order || !data.coreness) {
+    throw Error(ErrorKind::kInternal,
+                "write_lmg: order and coreness are required");
+  }
+  const VertexId n = g.num_vertices();
+  const EdgeId m = g.num_edges();
+  if (data.order->size() != n || data.coreness->size() != n) {
+    throw Error(ErrorKind::kInternal,
+                "write_lmg: order/coreness size disagrees with the graph");
+  }
+
+  // ---- optional rows: fix the zone from the stored order/coreness ------
+  VertexId zone_begin = 0, zone_bits = 0;
+  std::size_t stride_words = 0;
+  std::vector<std::uint64_t> row_words;
+  std::vector<std::uint32_t> row_counts;
+  if (data.with_rows && data.rows_omega > 0 && n > 0) {
+    // Relabelled ids sort by ascending coreness, so the zone is the
+    // suffix starting at the first id whose coreness >= rows_omega —
+    // identical to LazyGraph::init_zone with rows_omega as the incumbent.
+    VertexId zb = n;
+    for (VertexId v = 0; v < n; ++v) {
+      if ((*data.coreness)[data.order->new_to_orig[v]] >= data.rows_omega) {
+        zb = v;
+        break;
+      }
+    }
+    if (zb < n) {
+      zone_begin = zb;
+      zone_bits = n - zb;
+      const std::size_t words = (static_cast<std::size_t>(zone_bits) + 63) / 64;
+      stride_words = (words + 7) & ~std::size_t{7};  // 64-byte row stride
+      row_words.assign(static_cast<std::size_t>(zone_bits) * stride_words, 0);
+      row_counts.assign(zone_bits, 0);
+      for (VertexId v = zone_begin; v < n; ++v) {
+        const std::size_t i = v - zone_begin;
+        std::uint64_t* row = row_words.data() + i * stride_words;
+        std::uint32_t count = 0;
+        for (VertexId u_orig : g.neighbors(data.order->new_to_orig[v])) {
+          const VertexId u = data.order->orig_to_new[u_orig];
+          if (u < zone_begin) continue;
+          const VertexId bit = u - zone_begin;
+          row[bit >> 6] |= 1ULL << (bit & 63);
+          ++count;
+        }
+        row_counts[i] = count;
+      }
+    }
+  }
+  const bool has_rows = zone_bits > 0;
+
+  // ---- section table ---------------------------------------------------
+  struct Payload {
+    SectionKind kind;
+    const void* data;
+    std::uint64_t size;
+  };
+  std::vector<Payload> payloads;
+  const auto offsets = g.offsets();
+  const auto adjacency = g.adjacency();
+  // A default-constructed empty Graph has no offsets array at all, but
+  // the format always stores n+1 entries; give n = 0 its single zero.
+  static constexpr EdgeId kEmptyOffsets[1] = {0};
+  payloads.push_back({SectionKind::kOffsets,
+                      offsets.empty() ? kEmptyOffsets : offsets.data(),
+                      offsets.empty() ? sizeof(EdgeId) : offsets.size_bytes()});
+  payloads.push_back({SectionKind::kAdjacency, adjacency.data(),
+                      adjacency.size_bytes()});
+  payloads.push_back({SectionKind::kNewToOrig, data.order->new_to_orig.data(),
+                      std::uint64_t{n} * sizeof(VertexId)});
+  payloads.push_back({SectionKind::kOrigToNew, data.order->orig_to_new.data(),
+                      std::uint64_t{n} * sizeof(VertexId)});
+  payloads.push_back({SectionKind::kCoreness, data.coreness->data(),
+                      std::uint64_t{n} * sizeof(VertexId)});
+  if (has_rows) {
+    payloads.push_back({SectionKind::kRowCounts, row_counts.data(),
+                        std::uint64_t{zone_bits} * sizeof(std::uint32_t)});
+    payloads.push_back({SectionKind::kRowWords, row_words.data(),
+                        std::uint64_t{row_words.size()} * 8});
+  }
+
+  std::vector<SectionEntry> table(payloads.size());
+  std::size_t cursor = aligned_up(sizeof(FileHeader) +
+                                  table.size() * sizeof(SectionEntry));
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    table[i].kind = static_cast<std::uint32_t>(payloads[i].kind);
+    table[i].reserved = 0;
+    table[i].offset = cursor;
+    table[i].size_bytes = payloads[i].size;
+    table[i].checksum = checksum_bytes(payloads[i].data, payloads[i].size);
+    cursor = aligned_up(cursor + payloads[i].size);
+  }
+
+  FileHeader header{};
+  std::memcpy(header.magic, kMagic, sizeof kMagic);
+  header.version = kFormatVersion;
+  header.flags = kFlagHasOrder | (has_rows ? kFlagHasRows : 0u);
+  header.num_vertices = n;
+  header.num_edges = m;
+  header.section_count = static_cast<std::uint32_t>(table.size());
+  header.degeneracy = data.degeneracy;
+  header.zone_begin = zone_begin;
+  header.zone_bits = zone_bits;
+  header.row_stride_words = stride_words;
+  header.table_checksum =
+      checksum_bytes(table.data(), table.size() * sizeof(SectionEntry));
+  header.header_checksum =
+      checksum_bytes(&header, offsetof(FileHeader, header_checksum));
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) bad_input(path, "cannot open for writing", errno);
+  FileCloser closer{f};
+  write_bytes(f, &header, sizeof header, path);
+  write_bytes(f, table.data(), table.size() * sizeof(SectionEntry), path);
+  std::size_t written = sizeof header + table.size() * sizeof(SectionEntry);
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    write_padding(f, written, table[i].offset, path);
+    write_bytes(f, payloads[i].data, payloads[i].size, path);
+    written = table[i].offset + payloads[i].size;
+  }
+  if (std::fflush(f) != 0) bad_input(path, "flush failed", errno);
+}
+
+bool is_lmg_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[sizeof kMagic];
+  in.read(magic, sizeof magic);
+  return in.gcount() == sizeof magic &&
+         std::memcmp(magic, kMagic, sizeof magic) == 0;
+}
+
+// ---- reader ---------------------------------------------------------------
+
+std::shared_ptr<BinaryGraphView> BinaryGraphView::open(
+    const std::string& path) {
+  std::shared_ptr<BinaryGraphView> view(new BinaryGraphView());
+
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) bad_input(path, "cannot open", errno);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    bad_input(path, "cannot stat", err);
+  }
+  view->map_size_ = static_cast<std::uint64_t>(st.st_size);
+  if (view->map_size_ < sizeof(FileHeader)) {
+    ::close(fd);
+    bad_input(path, "truncated: " + std::to_string(view->map_size_) +
+                        " bytes is smaller than the header");
+  }
+  void* map = ::mmap(nullptr, view->map_size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  const int map_errno = errno;
+  ::close(fd);  // the mapping keeps its own reference
+  if (map == MAP_FAILED) {
+    throw Error(ErrorKind::kResource, "lmg '" + path + "': mmap failed",
+                map_errno);
+  }
+  view->map_ = map;
+#ifdef MADV_WILLNEED
+  // The validation pass below touches every page anyway; WILLNEED lets
+  // the kernel bring them in with large sequential reads instead of
+  // one-page-at-a-time faults.
+  ::madvise(map, view->map_size_, MADV_WILLNEED);
+#endif
+
+  view->validate_and_index(path);
+
+#ifdef MADV_RANDOM
+  // The row zone is probed row-at-a-time in search order, not
+  // sequentially — tell the kernel not to waste readahead on it.
+  if (view->has_rows()) {
+    std::uint64_t size = 0;
+    const unsigned char* rows = view->section(SectionKind::kRowWords, &size);
+    const auto page =
+        static_cast<std::uintptr_t>(::sysconf(_SC_PAGESIZE));
+    auto begin = reinterpret_cast<std::uintptr_t>(rows) & ~(page - 1);
+    const auto end = reinterpret_cast<std::uintptr_t>(rows) + size;
+    ::madvise(reinterpret_cast<void*>(begin), end - begin, MADV_RANDOM);
+  }
+#endif
+  return view;
+}
+
+BinaryGraphView::~BinaryGraphView() {
+  if (map_) ::munmap(map_, map_size_);
+}
+
+const unsigned char* BinaryGraphView::section(SectionKind kind,
+                                              std::uint64_t* size) const {
+  for (const SectionEntry& entry : sections_) {
+    if (entry.kind == static_cast<std::uint32_t>(kind)) {
+      if (size) *size = entry.size_bytes;
+      return static_cast<const unsigned char*>(map_) + entry.offset;
+    }
+  }
+  if (size) *size = 0;
+  return nullptr;
+}
+
+void BinaryGraphView::validate_and_index(const std::string& path) {
+  const auto* base = static_cast<const unsigned char*>(map_);
+
+  // ---- header ----------------------------------------------------------
+  std::memcpy(&header_, base, sizeof header_);
+  if (std::memcmp(header_.magic, kMagic, sizeof kMagic) != 0) {
+    bad_input(path, "bad magic (not a .lmg file)");
+  }
+  if (header_.version != kFormatVersion) {
+    bad_input(path, "unsupported format version " +
+                        std::to_string(header_.version) + " (expected " +
+                        std::to_string(kFormatVersion) + ")");
+  }
+  if (checksum_bytes(base, offsetof(FileHeader, header_checksum)) !=
+      header_.header_checksum) {
+    bad_input(path, "header checksum mismatch (corrupt or torn file)");
+  }
+  if (header_.num_vertices >
+      std::uint64_t{std::numeric_limits<VertexId>::max()} - 1) {
+    bad_input(path, "vertex count " + std::to_string(header_.num_vertices) +
+                        " exceeds the supported maximum");
+  }
+  const auto n = static_cast<std::uint64_t>(header_.num_vertices);
+  const std::uint64_t m = header_.num_edges;
+  if (m > (std::uint64_t{1} << 61)) {
+    bad_input(path, "edge count " + std::to_string(m) + " is implausible");
+  }
+  if (header_.section_count == 0 || header_.section_count > 16) {
+    bad_input(path, "section count " + std::to_string(header_.section_count) +
+                        " out of range");
+  }
+
+  // ---- section table ---------------------------------------------------
+  const std::uint64_t table_bytes =
+      std::uint64_t{header_.section_count} * sizeof(SectionEntry);
+  if (sizeof(FileHeader) + table_bytes > map_size_) {
+    bad_input(path, "truncated: section table extends past end of file");
+  }
+  if (checksum_bytes(base + sizeof(FileHeader), table_bytes) !=
+      header_.table_checksum) {
+    bad_input(path, "section table checksum mismatch");
+  }
+  sections_.resize(header_.section_count);
+  std::memcpy(sections_.data(), base + sizeof(FileHeader), table_bytes);
+
+  // ---- per-section bounds + checksums ----------------------------------
+  for (const SectionEntry& entry : sections_) {
+    if (entry.offset % kSectionAlign != 0 ||
+        entry.offset < sizeof(FileHeader) + table_bytes) {
+      bad_input(path, "section " + std::to_string(entry.kind) +
+                          " has a misaligned or overlapping offset");
+    }
+    // Overflow-safe containment: size must fit between offset and EOF.
+    if (entry.offset > map_size_ ||
+        entry.size_bytes > map_size_ - entry.offset) {
+      bad_input(path, "section " + std::to_string(entry.kind) +
+                          " extends past end of file (offset " +
+                          std::to_string(entry.offset) + ", size " +
+                          std::to_string(entry.size_bytes) + ", file " +
+                          std::to_string(map_size_) + ")");
+    }
+    if (checksum_bytes(base + entry.offset, entry.size_bytes) !=
+        entry.checksum) {
+      bad_input(path, "section " + std::to_string(entry.kind) +
+                          " checksum mismatch (corrupt file)");
+    }
+  }
+
+  const auto require = [&](SectionKind kind, std::uint64_t expected_bytes,
+                           const char* name) -> const unsigned char* {
+    std::uint64_t size = 0;
+    const unsigned char* data = section(kind, &size);
+    if (!data) bad_input(path, std::string("missing ") + name + " section");
+    if (size != expected_bytes) {
+      bad_input(path, std::string(name) + " section has " +
+                          std::to_string(size) + " bytes, expected " +
+                          std::to_string(expected_bytes));
+    }
+    return data;
+  };
+
+  // ---- CSR structure ---------------------------------------------------
+  const auto* offsets = reinterpret_cast<const EdgeId*>(
+      require(SectionKind::kOffsets, (n + 1) * sizeof(EdgeId), "offsets"));
+  const auto* adjacency = reinterpret_cast<const VertexId*>(require(
+      SectionKind::kAdjacency, 2 * m * sizeof(VertexId), "adjacency"));
+  if (offsets[0] != 0) bad_input(path, "CSR offsets do not start at 0");
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (offsets[v + 1] < offsets[v]) {
+      bad_input(path, "CSR offsets decrease at vertex " + std::to_string(v));
+    }
+  }
+  if (offsets[n] != 2 * m) {
+    bad_input(path, "CSR offsets end at " + std::to_string(offsets[n]) +
+                        ", expected 2*m = " + std::to_string(2 * m));
+  }
+  for (std::uint64_t e = 0; e < 2 * m; ++e) {
+    if (adjacency[e] >= n) {
+      bad_input(path, "adjacency entry " + std::to_string(e) +
+                          " names vertex " + std::to_string(adjacency[e]) +
+                          " >= n = " + std::to_string(n));
+    }
+  }
+
+  // ---- order + coreness ------------------------------------------------
+  if (has_rows() && !has_order()) {
+    bad_input(path, "rows flag set without the order flag");
+  }
+  if (has_order()) {
+    const auto* new_to_orig = reinterpret_cast<const VertexId*>(require(
+        SectionKind::kNewToOrig, n * sizeof(VertexId), "new_to_orig"));
+    const auto* orig_to_new = reinterpret_cast<const VertexId*>(require(
+        SectionKind::kOrigToNew, n * sizeof(VertexId), "orig_to_new"));
+    const auto* coreness = reinterpret_cast<const VertexId*>(
+        require(SectionKind::kCoreness, n * sizeof(VertexId), "coreness"));
+    VertexId prev_core = 0;
+    for (std::uint64_t v = 0; v < n; ++v) {
+      const VertexId orig = new_to_orig[v];
+      if (orig >= n || orig_to_new[orig] != v) {
+        bad_input(path, "order arrays are not inverse permutations at new "
+                        "id " + std::to_string(v));
+      }
+      const VertexId c = coreness[orig];
+      if (c >= n && n > 0) {
+        bad_input(path, "coreness " + std::to_string(c) + " >= n at vertex " +
+                            std::to_string(orig));
+      }
+      // LazyGraph's zone logic requires ids sorted by ascending coreness.
+      if (c < prev_core) {
+        bad_input(path,
+                  "stored order is not sorted by ascending coreness at new "
+                  "id " + std::to_string(v));
+      }
+      prev_core = c;
+    }
+    order_.new_to_orig.assign(new_to_orig, new_to_orig + n);
+    order_.orig_to_new.assign(orig_to_new, orig_to_new + n);
+    coreness_.resize(n);
+    for (std::uint64_t v = 0; v < n; ++v) coreness_[v] = coreness[v];
+  }
+
+  // ---- rows ------------------------------------------------------------
+  if (has_rows()) {
+    const std::uint64_t zb = header_.zone_begin;
+    const std::uint64_t bits = header_.zone_bits;
+    const std::uint64_t stride = header_.row_stride_words;
+    if (bits == 0 || zb >= n || zb + bits != n) {
+      bad_input(path, "row zone [" + std::to_string(zb) + ", +" +
+                          std::to_string(bits) +
+                          ") does not cover a suffix of the vertex ids");
+    }
+    const std::uint64_t words = (bits + 63) / 64;
+    if (stride < words || stride % 8 != 0 || stride > words + 7) {
+      bad_input(path, "row stride " + std::to_string(stride) +
+                          " words is invalid for a " + std::to_string(bits) +
+                          "-bit zone");
+    }
+    require(SectionKind::kRowCounts, bits * sizeof(std::uint32_t),
+            "row counts");
+    require(SectionKind::kRowWords, bits * stride * 8, "row words");
+  }
+}
+
+Graph BinaryGraphView::graph() const {
+  const auto n = static_cast<std::size_t>(header_.num_vertices);
+  const auto m = static_cast<std::size_t>(header_.num_edges);
+  std::uint64_t size = 0;
+  const auto* offsets =
+      reinterpret_cast<const EdgeId*>(section(SectionKind::kOffsets, &size));
+  const auto* adjacency = reinterpret_cast<const VertexId*>(
+      section(SectionKind::kAdjacency, &size));
+  return Graph(std::span<const EdgeId>(offsets, n + 1),
+               std::span<const VertexId>(adjacency, 2 * m),
+               shared_from_this());
+}
+
+PrebuiltRows BinaryGraphView::rows() const {
+  if (!has_rows()) return {};
+  std::uint64_t size = 0;
+  PrebuiltRows rows;
+  rows.words = reinterpret_cast<const std::uint64_t*>(
+      section(SectionKind::kRowWords, &size));
+  rows.counts = reinterpret_cast<const std::uint32_t*>(
+      section(SectionKind::kRowCounts, &size));
+  rows.zone_begin = header_.zone_begin;
+  rows.zone_bits = header_.zone_bits;
+  rows.stride_words = static_cast<std::size_t>(header_.row_stride_words);
+  return rows;
+}
+
+}  // namespace lazymc::store

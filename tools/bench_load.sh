@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# Load-time shoot-out for the binary graph store: text parse vs first
+# mmap open vs warm mmap open, across the corpus ladder
+# (corpus/MANIFEST.tsv, materialized by tools/corpus.sh).  Produces the
+# committed baseline BENCH_10.json.
+#
+# Every instance is solved once per load path with the same solver
+# configuration; the script HARD-FAILS if any solve times out or if the
+# parse and mmap paths disagree on omega — a store that loads fast but
+# decodes a different graph is a correctness bug, not a result.  It also
+# hard-fails unless the warm mmap load of the largest instance (by text
+# bytes) is at least MIN_SPEEDUP x faster than the text parse.
+#
+# usage: tools/bench_load.sh BUILD_DIR [OUT_JSON]
+#
+# environment:
+#   BENCH_TIME_LIMIT  per-solve wall-clock limit in seconds (default 120)
+#   MIN_SPEEDUP       required warm-mmap speedup on the largest
+#                     instance (default 10)
+#   CORPUS_OFFLINE    forwarded to tools/corpus.sh
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: tools/bench_load.sh BUILD_DIR [OUT_JSON]}
+OUT=${2:-BENCH_10.json}
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+CACHE=$ROOT/corpus/cache
+TIME_LIMIT=${BENCH_TIME_LIMIT:-120}
+MIN_SPEEDUP=${MIN_SPEEDUP:-10}
+LAZYMC=$BUILD_DIR/lazymc
+
+[ -x "$LAZYMC" ] || { echo "bench_load: $LAZYMC not found" >&2; exit 1; }
+"$ROOT/tools/corpus.sh" "$BUILD_DIR" "$CACHE"
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+names=()
+while IFS=$'\t' read -r name url fallback; do
+  case "$name" in ''|'#'*) continue ;; esac
+  names+=("$name")
+done < "$ROOT/corpus/MANIFEST.tsv"
+
+for name in "${names[@]}"; do
+  echo "== $name =="
+  "$LAZYMC" --graph "$CACHE/$name.clq" --rep bitset \
+    --time-limit "$TIME_LIMIT" --json > "$TMP/$name.parse.json"
+  # First open after the solve above: the page cache holds the text
+  # file, not the store, so this is the coldest open a benchmark run
+  # can reproduce without root (drop_caches).
+  "$LAZYMC" --graph "$CACHE/$name.lmg" --rep bitset \
+    --time-limit "$TIME_LIMIT" --json > "$TMP/$name.mmap1.json"
+  "$LAZYMC" --graph "$CACHE/$name.lmg" --rep bitset \
+    --time-limit "$TIME_LIMIT" --json > "$TMP/$name.mmap2.json"
+done
+
+python3 - "$TMP" "$CACHE" "$OUT" "$MIN_SPEEDUP" "${names[@]}" <<'PY'
+import json
+import os
+import sys
+
+tmp, cache, out, min_speedup = sys.argv[1:5]
+names = sys.argv[5:]
+min_speedup = float(min_speedup)
+
+instances = []
+for name in names:
+    runs = {}
+    for path in ("parse", "mmap1", "mmap2"):
+        with open(f"{tmp}/{name}.{path}.json") as f:
+            runs[path] = json.load(f)
+    omegas = {path: r["omega"] for path, r in runs.items()}
+    if len(set(omegas.values())) != 1:
+        sys.exit(f"bench_load: omega diverged on {name}: {omegas}")
+    for path, r in runs.items():
+        if r["timed_out"]:
+            sys.exit(f"bench_load: {name}/{path} timed out; omega is not "
+                     "comparable (raise BENCH_TIME_LIMIT)")
+        if r["verification"] != "ok":
+            sys.exit(f"bench_load: {name}/{path} failed verification")
+    if runs["mmap2"]["load_path"] != "mmap":
+        sys.exit(f"bench_load: {name} store was not mmap-loaded")
+    parse_s = runs["parse"]["load_seconds"]
+    warm_s = runs["mmap2"]["load_seconds"]
+    instances.append({
+        "name": name,
+        "text_bytes": os.path.getsize(f"{cache}/{name}.clq"),
+        "lmg_bytes": os.path.getsize(f"{cache}/{name}.lmg"),
+        "num_vertices": runs["parse"]["num_vertices"],
+        "num_edges": runs["parse"]["num_edges"],
+        "omega": omegas["parse"],
+        "parse_load_seconds": parse_s,
+        "mmap_first_load_seconds": runs["mmap1"]["load_seconds"],
+        "mmap_warm_load_seconds": warm_s,
+        "warm_speedup": parse_s / warm_s if warm_s > 0 else float("inf"),
+        "rows_prebuilt": runs["mmap2"]["lazy_graph"]["rows_prebuilt"],
+        "rows_built_lazily": runs["mmap2"]["lazy_graph"]["bitset_built"],
+    })
+
+largest = max(instances, key=lambda i: i["text_bytes"])
+if largest["warm_speedup"] < min_speedup:
+    sys.exit(f"bench_load: warm mmap speedup on {largest['name']} is "
+             f"{largest['warm_speedup']:.1f}x, need >= {min_speedup}x")
+
+doc = {
+    "schema": "lazymc-bench-load-v1",
+    "description": "Graph load-time shoot-out: DIMACS text parse vs "
+                   "first and warm mmap of the .lmg binary store, over "
+                   "the corpus ladder (corpus/MANIFEST.tsv).  Solves "
+                   "use --rep bitset; omega is asserted identical "
+                   "across load paths.",
+    "largest_instance": {
+        "name": largest["name"],
+        "warm_speedup": largest["warm_speedup"],
+    },
+    "instances": instances,
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"bench_load: largest instance {largest['name']} warm speedup "
+      f"{largest['warm_speedup']:.1f}x -> {out}")
+PY

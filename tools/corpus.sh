@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Materializes the benchmark corpus ladder (corpus/MANIFEST.tsv): one
+# DIMACS text file and one `.lmg` binary store per instance, cached in
+# corpus/cache/ so repeated benchmark runs (and the CI cache) pay
+# nothing after the first build.
+#
+# For every manifest row the text file comes from, in order:
+#   1. the cache (corpus/cache/<name>.clq already present — e.g. a real
+#      downloaded dataset someone dropped in, or a previous run);
+#   2. the row's URL (skipped when CORPUS_OFFLINE=1, when the row has no
+#      URL, or when curl is unavailable / the download fails);
+#   3. the row's fallback generator spec, exported with
+#      `lazymc-convert --emit dimacs` — fully hermetic, no network.
+#
+# The `.lmg` store is then (re)built from the text file with
+# `lazymc-convert --with-rows --verify` whenever it is missing or older
+# than its text source, so the two artifacts can never drift apart.
+#
+# usage: tools/corpus.sh BUILD_DIR [DEST_DIR]
+#
+# environment:
+#   CORPUS_OFFLINE=1   never attempt downloads (CI default)
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: tools/corpus.sh BUILD_DIR [DEST_DIR]}
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+DEST=${2:-$ROOT/corpus/cache}
+MANIFEST=$ROOT/corpus/MANIFEST.tsv
+CONVERT=$BUILD_DIR/lazymc-convert
+
+[ -x "$CONVERT" ] || {
+  echo "corpus: $CONVERT not found (build lazymc-convert first)" >&2
+  exit 1
+}
+[ -f "$MANIFEST" ] || { echo "corpus: $MANIFEST missing" >&2; exit 1; }
+mkdir -p "$DEST"
+
+fetch() {  # name url -> 0 if $DEST/$1.clq was produced from $2
+  local name=$1 url=$2 tmp
+  [ "${CORPUS_OFFLINE:-0}" = 1 ] && return 1
+  [ "$url" = "-" ] && return 1
+  command -v curl >/dev/null || return 1
+  tmp=$(mktemp -d "$DEST/fetch.XXXXXX")
+  if ! curl -fsSL --max-time 120 -o "$tmp/raw" "$url"; then
+    rm -rf "$tmp"; return 1
+  fi
+  case "$url" in
+    *.gz) gunzip -c "$tmp/raw" > "$tmp/text" 2>/dev/null || {
+            rm -rf "$tmp"; return 1; } ;;
+    *.zip) command -v unzip >/dev/null || { rm -rf "$tmp"; return 1; }
+           unzip -p "$tmp/raw" > "$tmp/text" 2>/dev/null || {
+             rm -rf "$tmp"; return 1; } ;;
+    *) mv "$tmp/raw" "$tmp/text" ;;
+  esac
+  # Round-trip through the loader: rejects archives that were not a
+  # graph, and normalizes whatever text format arrived into DIMACS.
+  if ! "$CONVERT" "$tmp/text" "$DEST/$name.clq" --emit dimacs \
+       > /dev/null 2>&1; then
+    rm -rf "$tmp"; return 1
+  fi
+  rm -rf "$tmp"
+  echo "  $name: downloaded"
+}
+
+built=0
+while IFS=$'\t' read -r name url fallback; do
+  case "$name" in ''|'#'*) continue ;; esac
+  clq=$DEST/$name.clq
+  lmg=$DEST/$name.lmg
+  if [ ! -f "$clq" ]; then
+    if ! fetch "$name" "$url"; then
+      "$CONVERT" "$fallback" "$clq" --emit dimacs > /dev/null
+      echo "  $name: generated from $fallback"
+    fi
+  fi
+  if [ ! -f "$lmg" ] || [ "$clq" -nt "$lmg" ]; then
+    "$CONVERT" "$clq" "$lmg" --with-rows --verify > /dev/null
+    built=$((built + 1))
+  fi
+done < "$MANIFEST"
+
+count=$(ls "$DEST"/*.lmg 2>/dev/null | wc -l)
+echo "corpus: $count instances ready in $DEST ($built stores rebuilt)"

@@ -106,6 +106,31 @@ done
 "$CTL" --socket "$SOCK" status > "$DIR/s1.json"
 check_reconciled "$DIR/s1.json" "phase 1"
 [ "$(json_field "$DIR/s1.json" completed)" -ge 3 ] || fail "completed < 3"
+grep -q '"graph_store":' "$DIR/s1.json" \
+  || fail "status lacks the graph_store section"
+grep -q '"load_path":"gen"' "$DIR/s1.json" \
+  || fail "status graph_store lacks per-graph load_path"
+
+# phase 1a: the load verb accepts .lmg binary stores and the status verb
+# reports them as mmap-loaded.
+CONVERT="$(dirname "$LAZYMCD")/lazymc-convert"
+if [ -x "$CONVERT" ]; then
+  note "phase 1a: binary graph store through the daemon"
+  "$CONVERT" "$DIR/hard.el" "$DIR/hard.lmg" --with-rows --verify \
+    > /dev/null || fail "lazymc-convert failed"
+  "$CTL" --socket "$SOCK" load "$DIR/hard.lmg" > "$DIR/load_lmg.json"
+  [ "$(json_field "$DIR/load_lmg.json" ok)" = "true" ] \
+    || fail "lmg load did not ack"
+  "$CTL" --socket "$SOCK" solve "$DIR/hard.lmg" --time-limit 2 \
+    --id store-1 > "$DIR/rs.json" || true
+  grep -q '"load_path":"mmap"' "$DIR/rs.json" \
+    || fail "store solve does not report mmap load path"
+  [ "$(json_field "$DIR/rs.json" verification)" = "ok" ] \
+    || fail "store solve verification not ok"
+  "$CTL" --socket "$SOCK" status > "$DIR/s1a.json"
+  grep -q '"load_path":"mmap"' "$DIR/s1a.json" \
+    || fail "status does not report the mmap-loaded store"
+fi
 
 note "phase 1b: load shedding under a full queue"
 # 2 executors + 2 queue slots; 6 concurrent slow solves must shed >= 2.
